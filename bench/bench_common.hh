@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures: configuration iteration, representative chip
+ * selection, and environment-variable scaling knobs.
+ */
+
+#ifndef ROWHAMMER_BENCH_COMMON_HH
+#define ROWHAMMER_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/population.hh"
+#include "util/table.hh"
+
+namespace rowhammer::bench
+{
+
+/** Integer knob from the environment with a default. */
+inline long
+envLong(const char *name, long fallback)
+{
+    if (const char *value = std::getenv(name))
+        return std::atol(value);
+    return fallback;
+}
+
+/** All (type-node, manufacturer) combinations the paper has chips for. */
+inline std::vector<std::pair<fault::TypeNode, fault::Manufacturer>>
+allCombinations()
+{
+    std::vector<std::pair<fault::TypeNode, fault::Manufacturer>> out;
+    for (int t = 0; t < fault::numTypeNodes; ++t) {
+        for (auto mfr : {fault::Manufacturer::A, fault::Manufacturer::B,
+                         fault::Manufacturer::C}) {
+            const auto tn = static_cast<fault::TypeNode>(t);
+            if (fault::combinationExists(tn, mfr))
+                out.emplace_back(tn, mfr);
+        }
+    }
+    return out;
+}
+
+/**
+ * Sample up to `count` chips of a configuration (population order, so
+ * the first chip of the weakest group carries the published minimum).
+ */
+inline std::vector<fault::ChipInstance>
+configChips(fault::TypeNode tn, fault::Manufacturer mfr, int count,
+            std::uint64_t seed = 2020)
+{
+    auto chips = fault::sampleConfigChips(tn, mfr, seed, count);
+    if (static_cast<int>(chips.size()) > count) {
+        // Keep the pinned-minimum chips of each group first.
+        chips.resize(static_cast<std::size_t>(count) * 2);
+    }
+    return chips;
+}
+
+/** Print a bench header in a uniform style. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace rowhammer::bench
+
+#endif // ROWHAMMER_BENCH_COMMON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 4: per-data-pattern coverage of the full set of
+ * observable RowHammer bit flips, for a representative chip of each
+ * type-node configuration and manufacturer.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "charlib/analyses.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Figure 4: RowHammer bit flip coverage per data "
+                  "pattern (HC = 150k)");
+
+    const long sample_rows = bench::envLong("RH_F4_ROWS", 64);
+    const long iterations = bench::envLong("RH_F4_ITERS", 3);
+
+    util::TextTable table;
+    std::vector<std::string> header{"config"};
+    for (auto dp : fault::figure4Patterns())
+        header.push_back(toString(dp));
+    header.push_back("union");
+    table.setHeader(std::move(header));
+
+    for (const auto &[tn, mfr] : bench::allCombinations()) {
+        const auto chips = fault::sampleConfigChips(tn, mfr, 2020, 1);
+        util::Rng rng(17);
+        bool printed = false;
+        for (const auto &chip : chips) {
+            if (!chip.rowHammerable)
+                continue;
+            fault::ChipModel model = chip.makeModel();
+            // Sparse configurations need a larger row sample.
+            const long rows_eff =
+                model.spec().weakDensityAt150k < 2e-6
+                    ? sample_rows * 8
+                    : sample_rows;
+            const auto study = charlib::runDataPatternStudy(
+                model, 150000, static_cast<int>(iterations),
+                static_cast<int>(rows_eff), rng);
+            if (study.unionSize < 10)
+                continue;
+            std::vector<std::string> row{
+                toString(tn) + " " + toString(mfr)};
+            for (const auto &cov : study.perPattern)
+                row.push_back(util::fmtPercent(cov.coverage, 0));
+            row.push_back(std::to_string(study.unionSize));
+            table.addRow(std::move(row));
+            printed = true;
+            break;
+        }
+        if (!printed) {
+            std::vector<std::string> row{
+                toString(tn) + " " + toString(mfr)};
+            for (std::size_t i = 0; i < 6; ++i)
+                row.push_back("-");
+            row.push_back("not enough bit flips");
+            table.addRow(std::move(row));
+        }
+    }
+    table.render(std::cout);
+    std::cout << "\nShape check: no single data pattern reaches 100% "
+                 "coverage\n(Observation 2); the per-config worst "
+                 "pattern matches Table 3.\n";
+    return 0;
+}

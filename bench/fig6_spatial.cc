@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 6: the spatial distribution of RowHammer bit flips
+ * by row offset from the victim, with each chip normalized to a flip
+ * rate of 1e-6 (Section 5.4).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "charlib/analyses.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Figure 6: distribution of flips by distance from the "
+                  "victim row (rate 1e-6)");
+
+    const long rate_rows = bench::envLong("RH_F6_RATE_ROWS", 192);
+    const long dist_rows = bench::envLong("RH_F6_DIST_ROWS", 2048);
+
+    util::TextTable table;
+    std::vector<std::string> header{"config"};
+    for (int off = -6; off <= 6; ++off)
+        header.push_back(std::to_string(off));
+    header.push_back("flips");
+    table.setHeader(std::move(header));
+
+    for (const auto &[tn, mfr] : bench::allCombinations()) {
+        const auto chips = fault::sampleConfigChips(tn, mfr, 2020, 1);
+        util::Rng rng(23);
+        bool printed = false;
+        for (const auto &chip : chips) {
+            if (!chip.rowHammerable)
+                continue;
+            fault::ChipModel model = chip.makeModel();
+            const auto hc = charlib::hammerCountForRate(
+                model, 1e-6, static_cast<int>(rate_rows), 150000, rng);
+            if (!hc)
+                continue;
+            const auto dist = charlib::spatialDistribution(
+                model, *hc, static_cast<int>(dist_rows), rng);
+            if (dist.totalFlips < 20)
+                continue;
+            std::vector<std::string> row{toString(tn) + " " +
+                                         toString(mfr)};
+            for (int off = -6; off <= 6; ++off)
+                row.push_back(util::fmt(dist.at(off), 3));
+            row.push_back(std::to_string(dist.totalFlips));
+            table.addRow(std::move(row));
+            printed = true;
+            break;
+        }
+        if (!printed) {
+            std::vector<std::string> row{toString(tn) + " " +
+                                         toString(mfr)};
+            for (int off = -6; off <= 6; ++off)
+                row.push_back("-");
+            row.push_back("not enough bit flips");
+            table.addRow(std::move(row));
+        }
+    }
+    table.render(std::cout);
+    std::cout
+        << "\nShape check: victim row (offset 0) dominates; aggressor "
+           "rows\n(+/-1) are zero; only even offsets flip; LPDDR4-1y "
+           "reaches +/-4\nand beyond while DDR3/DDR4 stop at +/-2 "
+           "(Observations 6-7).\nMfr B LPDDR4-1x shows the "
+           "paired-wordline remap (flips at the\npair-mate offset "
+           "+/-1 of the victim's shared wordline).\n";
+    return 0;
+}

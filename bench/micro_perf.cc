@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrates: DRAM
+ * command issue, controller ticks, fault-model hammering, and ECC
+ * decode throughput. These bound the wall-clock cost of the experiment
+ * harness itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "charlib/hcfirst.hh"
+#include "dram/device.hh"
+#include "ecc/ondie.hh"
+#include "fault/chip_model.hh"
+#include "sim/controller.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+namespace
+{
+
+void
+BM_DeviceHammerPair(benchmark::State &state)
+{
+    dram::Device dev(dram::table6Organization(), dram::ddr4_2400());
+    dram::Address a{.rank = 0, .bankGroup = 0, .bank = 0, .row = 100,
+                    .column = 0};
+    dram::Address b = a;
+    b.row = 102;
+    dram::Cycle now = 0;
+    for (auto _ : state) {
+        for (const auto &addr : {a, b}) {
+            now = dev.earliest(dram::Command::ACT, addr, now);
+            dev.issue(dram::Command::ACT, addr, now);
+            now = dev.earliest(dram::Command::PRE, addr, now);
+            dev.issue(dram::Command::PRE, addr, now);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DeviceHammerPair);
+
+void
+BM_ControllerTick(benchmark::State &state)
+{
+    sim::Controller ctrl(dram::table6Organization(), dram::ddr4_2400());
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        if (ctrl.readQueueSpace() > 0) {
+            sim::Request r;
+            r.addr = addr;
+            addr += 8192 * 16; // New row each time.
+            r.type = sim::Request::Type::Read;
+            ctrl.enqueue(std::move(r));
+        }
+        ctrl.tick();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerTick);
+
+void
+BM_ChipModelHammer(benchmark::State &state)
+{
+    fault::ChipSpec spec = fault::configFor(fault::TypeNode::DDR4New,
+                                            fault::Manufacturer::A);
+    fault::ChipModel chip(spec, 10000, 1);
+    util::Rng rng(1);
+    int row = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chip.hammerDoubleSided(
+            0, row, 100000, spec.worstPattern, rng));
+        row = 64 + (row + 7) % 8192;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChipModelHammer);
+
+void
+BM_OnDieEccDecode(benchmark::State &state)
+{
+    ecc::OnDieEcc ecc(128);
+    const util::BitVec data(128, 0x5A);
+    const std::vector<std::size_t> flips{17, 63};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc.readWithFlips(data, flips));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnDieEccDecode);
+
+void
+BM_HcFirstSearch(benchmark::State &state)
+{
+    fault::ChipSpec spec = fault::configFor(fault::TypeNode::DDR4New,
+                                            fault::Manufacturer::A);
+    fault::ChipModel chip(spec, 10000, 2);
+    util::Rng rng(2);
+    charlib::HcFirstOptions options;
+    options.sampleRows = 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            charlib::findHcFirst(chip, options, rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HcFirstSearch);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rowhammer::util::setVerbose(false);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Table 2: the fraction of DDR3 chips in which any
+ * RowHammer bit flip can be induced at HC < 150k, per manufacturer and
+ * node generation. Each sampled chip is actually *measured* with the
+ * HCfirst search (not just read off the population metadata).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "charlib/hcfirst.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Table 2: fraction of DDR3 chips vulnerable to "
+                  "RowHammer (HC < 150k)");
+
+    // Default: measure every chip of the DDR3 population (sampleChips
+    // caps at each group's real size, preserving group proportions).
+    const long chips_per_group =
+        bench::envLong("RH_T2_CHIPS_PER_GROUP", 128);
+
+    util::TextTable table;
+    table.setHeader({"DRAM type-node", "Mfr. A", "Mfr. B", "Mfr. C",
+                     "paper A", "paper B", "paper C"});
+
+    const char *paper[2][3] = {{"24/88", "0/88", "0/28"},
+                               {"8/72", "44/52", "96/104"}};
+
+    int row_idx = 0;
+    for (auto tn : {fault::TypeNode::DDR3Old, fault::TypeNode::DDR3New}) {
+        std::vector<std::string> row{toString(tn)};
+        for (auto mfr : {fault::Manufacturer::A, fault::Manufacturer::B,
+                         fault::Manufacturer::C}) {
+            // Sample evenly across all module groups of the config, so
+            // group-concentrated vulnerability (e.g. Mfr A's A7-9
+            // modules) is represented as in the paper's population.
+            auto chips = fault::sampleConfigChips(
+                tn, mfr, 2020, static_cast<int>(chips_per_group));
+
+            int hammerable = 0;
+            util::Rng rng(5);
+            for (const auto &chip : chips) {
+                fault::ChipModel model = chip.makeModel();
+                charlib::HcFirstOptions options;
+                options.sampleRows = 8;
+                if (charlib::findHcFirst(model, options, rng))
+                    ++hammerable;
+            }
+            row.push_back(std::to_string(hammerable) + "/" +
+                          std::to_string(chips.size()));
+        }
+        row.push_back(paper[row_idx][0]);
+        row.push_back(paper[row_idx][1]);
+        row.push_back(paper[row_idx][2]);
+        table.addRow(std::move(row));
+        ++row_idx;
+    }
+    table.render(std::cout);
+    std::cout << "\nShape check: Mfr B and C go from zero RowHammerable\n"
+                 "chips (old) to a large majority (new); Mfr A chips "
+                 "show\nfew flips in both generations.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Table 4: the lowest measured HCfirst across the chips of
+ * each DRAM type-node configuration and manufacturer.
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "bench_common.hh"
+#include "charlib/hcfirst.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+namespace
+{
+
+std::optional<double>
+paperValue(fault::TypeNode tn, fault::Manufacturer mfr)
+{
+    if (!fault::combinationExists(tn, mfr))
+        return std::nullopt;
+    return fault::configFor(tn, mfr).minHcFirst;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Table 4: lowest HCfirst (x1000 hammers) per "
+                  "configuration");
+
+    const long chips_per_group = bench::envLong("RH_T4_CHIPS", 3);
+
+    util::TextTable table;
+    table.setHeader({"DRAM type-node", "Mfr", "measured", "paper",
+                     "rel.err"});
+
+    for (const auto &[tn, mfr] : bench::allCombinations()) {
+        const auto chips = fault::sampleConfigChips(
+            tn, mfr, 2020, static_cast<int>(chips_per_group));
+        util::Rng rng(7);
+        double measured = 1e18;
+        for (const auto &chip : chips) {
+            if (!chip.rowHammerable)
+                continue;
+            fault::ChipModel model = chip.makeModel();
+            charlib::HcFirstOptions options;
+            options.sampleRows = 10;
+            const auto hc = charlib::findHcFirst(model, options, rng);
+            if (hc)
+                measured =
+                    std::min(measured, static_cast<double>(*hc));
+        }
+        const auto paper = paperValue(tn, mfr);
+        std::vector<std::string> row{toString(tn), toString(mfr)};
+        row.push_back(measured < 1e18 ? util::fmtKilo(measured)
+                                      : ">150k");
+        if (paper && *paper < 150000.0) {
+            row.push_back(util::fmtKilo(*paper));
+            row.push_back(measured < 1e18
+                              ? util::fmtPercent(
+                                    (measured - *paper) / *paper)
+                              : "n/a");
+        } else if (paper) {
+            row.push_back(util::fmtKilo(*paper));
+            row.push_back(measured < 1e18 ? "n/a" : "ok");
+        } else {
+            row.push_back("N/A");
+            row.push_back("-");
+        }
+        table.addRow(std::move(row));
+    }
+    table.render(std::cout);
+    std::cout << "\nShape check: within each manufacturer, newer nodes "
+                 "have\nlower minimum HCfirst; LPDDR4-1y Mfr A bottoms "
+                 "out near 4.8k.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Table 5: the percentage of cells with monotonically
+ * increasing RowHammer flip probability as HC increases (25k to 150k,
+ * 20 iterations per step). DDR3/DDR4 chips exceed 97%; LPDDR4 chips sit
+ * near 50% because on-die ECC obscures per-cell behaviour.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "charlib/analyses.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Table 5: % cells with monotonically increasing flip "
+                  "probability");
+
+    const long step = bench::envLong("RH_T5_STEP", 5000);
+    const long iters = bench::envLong("RH_T5_ITERS", 20);
+    const long rows = bench::envLong("RH_T5_ROWS", 24);
+
+    util::TextTable table;
+    table.setHeader({"DRAM type-node", "Mfr", "measured %", "cells",
+                     "paper %"});
+
+    struct PaperRow
+    {
+        fault::TypeNode tn;
+        fault::Manufacturer mfr;
+        const char *paper;
+    };
+    const PaperRow paper_rows[] = {
+        {fault::TypeNode::DDR3New, fault::Manufacturer::B, "100"},
+        {fault::TypeNode::DDR3New, fault::Manufacturer::C, "100"},
+        {fault::TypeNode::DDR4Old, fault::Manufacturer::A, "98.4"},
+        {fault::TypeNode::DDR4Old, fault::Manufacturer::B, "100"},
+        {fault::TypeNode::DDR4New, fault::Manufacturer::A, "99.6"},
+        {fault::TypeNode::DDR4New, fault::Manufacturer::B, "100"},
+        {fault::TypeNode::LPDDR4_1x, fault::Manufacturer::A, "50.3"},
+        {fault::TypeNode::LPDDR4_1x, fault::Manufacturer::B, "52.4"},
+        {fault::TypeNode::LPDDR4_1y, fault::Manufacturer::A, "47.0"},
+        {fault::TypeNode::LPDDR4_1y, fault::Manufacturer::C, "54.3"},
+    };
+
+    for (const auto &row : paper_rows) {
+        const auto chips =
+            fault::sampleConfigChips(row.tn, row.mfr, 2020, 1);
+        util::Rng rng(13);
+        std::string measured = "no flips";
+        std::string cells = "0";
+        for (const auto &chip : chips) {
+            if (!chip.rowHammerable)
+                continue;
+            fault::ChipModel model = chip.makeModel();
+            // Sparse configurations need a larger row sample to observe
+            // enough cells.
+            const long rows_eff =
+                model.spec().weakDensityAt150k < 1e-5 ? rows * 6
+                                                      : rows;
+            const auto result = charlib::monotonicityStudy(
+                model, 25000, 150000, step, static_cast<int>(iters),
+                static_cast<int>(rows_eff), rng);
+            if (result.cellsObserved < 10)
+                continue;
+            measured =
+                util::fmt(result.fractionMonotonic * 100.0, 1);
+            cells = std::to_string(result.cellsObserved);
+            break;
+        }
+        table.addRow({toString(row.tn), toString(row.mfr), measured,
+                      cells, row.paper});
+    }
+    table.render(std::cout);
+    std::cout << "\nShape check: > 97% for DDR3/DDR4 configurations, "
+                 "~50% for\nLPDDR4 (on-die ECC breaks per-cell "
+                 "monotonicity).\n";
+    return 0;
+}

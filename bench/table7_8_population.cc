@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Appendix Tables 7 and 8: the DDR4 and DDR3 module
+ * populations (manufacturer, node generation, dates, speed bins,
+ * organization, and per-group minimum HCfirst).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+namespace
+{
+
+void
+renderPopulation(const std::vector<fault::ModuleGroup> &groups,
+                 const std::string &title)
+{
+    bench::banner(title);
+    util::TextTable table;
+    table.setHeader({"Mfr", "node", "modules", "date", "MT/s", "tRC ns",
+                     "GB", "chips", "pins", "min HCfirst"});
+    int modules = 0;
+    int chips = 0;
+    for (const auto &g : groups) {
+        table.addRow({toString(g.manufacturer), toString(g.typeNode),
+                      g.moduleRange + " (" +
+                          std::to_string(g.moduleCount) + ")",
+                      g.dateCode, std::to_string(g.freqMts),
+                      rowhammer::util::fmt(g.trcNs, 2),
+                      std::to_string(g.sizeGb),
+                      std::to_string(g.chipsPerModule),
+                      "x" + std::to_string(g.pinWidth),
+                      g.minHcFirst
+                          ? rowhammer::util::fmtKilo(*g.minHcFirst)
+                          : "N/A"});
+        modules += g.moduleCount;
+        chips += g.moduleCount * g.chipsPerModule;
+    }
+    table.render(std::cout);
+    std::cout << "total modules: " << modules
+              << "  total chips: " << chips << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+    renderPopulation(fault::table8Ddr3Modules(),
+                     "Table 8: DDR3 module population (60 modules)");
+    renderPopulation(fault::table7Ddr4Modules(),
+                     "Table 7: DDR4 module population (110 modules)");
+    renderPopulation(fault::lpddr4Modules(),
+                     "LPDDR4 module population (Table 1; 130 modules)");
+    return 0;
+}

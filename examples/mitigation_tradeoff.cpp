@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mitigation trade-off study: run one 8-core workload mix against every
+ * mitigation mechanism at a chosen chip vulnerability and print the
+ * performance / bandwidth-overhead trade-off, plus how PARA's refresh
+ * probability responds to the reliability target.
+ *
+ * Usage:  ./build/examples/mitigation_tradeoff [HCfirst]
+ * (default HCfirst = 4800, the paper's most vulnerable 2020 chip)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "mitigation/para.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace rowhammer;
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+    const double hc_first = argc > 1 ? std::atof(argv[1]) : 4800.0;
+
+    core::ExperimentConfig config;
+    config.system.cores = 4;
+    config.instructionsPerCore = 60000;
+    config.warmupInstructions = 10000;
+    config.mixCount = 1;
+    core::ExperimentRunner runner(config);
+
+    std::cout << "workload: mix0 of the 48-mix catalogue ("
+              << config.system.cores << " cores)\n"
+              << "chip vulnerability: HCfirst = " << hc_first << "\n\n";
+
+    util::TextTable table;
+    table.setHeader({"mechanism", "norm perf %", "bandwidth ovh %",
+                     "note"});
+    for (auto kind : mitigation::allKinds()) {
+        const auto outcome = runner.runMix(0, kind, hc_first);
+        if (!outcome) {
+            table.addRow({toString(kind), "-", "-",
+                          "not scalable at this HCfirst"});
+            continue;
+        }
+        table.addRow(
+            {toString(kind),
+             util::fmt(outcome->normalizedPerformance * 100.0, 2),
+             util::fmt(outcome->bandwidthOverheadPercent, 3), ""});
+    }
+    table.render(std::cout);
+
+    // PARA's probability is a pure function of HCfirst and the BER
+    // target; show the designer's dial.
+    std::cout << "\nPARA probability vs reliability target at HCfirst "
+              << hc_first << ":\n";
+    for (double ber : {1e-9, 1e-12, 1e-15, 1e-18}) {
+        std::cout << "  target BER " << ber << "/h -> p = "
+                  << mitigation::Para::solveProbability(
+                         hc_first, config.system.timing, ber)
+                  << "\n";
+    }
+    return 0;
+}

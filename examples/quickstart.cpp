@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: create a simulated DRAM chip, measure its RowHammer
+ * vulnerability (HCfirst), inspect the flips a double-sided hammer
+ * induces, and see how the PARA mitigation scales with vulnerability.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "charlib/hcfirst.hh"
+#include "fault/population.hh"
+#include "mitigation/para.hh"
+#include "util/logging.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+
+    // 1. Pick a chip from the paper's population: the weakest LPDDR4-1y
+    //    chip of manufacturer A (HCfirst = 4.8k, Table 4).
+    const auto chips = fault::sampleConfigChips(
+        fault::TypeNode::LPDDR4_1y, fault::Manufacturer::A, 2020, 1);
+    fault::ChipModel chip = chips.front().makeModel();
+    std::cout << "chip: " << chip.spec().label()
+              << "  (ground-truth HCfirst = " << chip.trueHcFirst()
+              << " hammers)\n";
+
+    // 2. Measure HCfirst the way Section 5.5 does.
+    util::Rng rng(1);
+    charlib::HcFirstOptions options;
+    options.sampleRows = 12;
+    const auto hc_first = charlib::findHcFirst(chip, options, rng);
+    std::cout << "measured HCfirst: "
+              << (hc_first ? std::to_string(*hc_first)
+                           : std::string("> 150k"))
+              << " hammers\n";
+
+    // 3. Hammer the weakest row past its threshold and look at the
+    //    observed bit flips (post on-die-ECC for this LPDDR4 chip).
+    const auto flips = chip.hammerDoubleSided(
+        chip.weakestBank(), chip.weakestRow(), 20000,
+        chip.spec().worstPattern, rng);
+    std::cout << "double-sided hammer @20k: " << flips.size()
+              << " bit flips observed\n";
+    for (std::size_t i = 0; i < flips.size() && i < 5; ++i) {
+        const auto &f = flips[i];
+        std::cout << "  bank " << f.bank << " row " << f.row << " bit "
+                  << f.bitIndex << " ("
+                  << (f.oneToZero ? "1->0" : "0->1") << ")\n";
+    }
+
+    // 4. What would PARA need to protect this chip - and a future one?
+    const auto timing = dram::lpddr4_3200();
+    for (double hc : {43200.0, 4800.0, 512.0, 128.0}) {
+        const double p =
+            mitigation::Para::solveProbability(hc, timing, 1e-15);
+        std::cout << "PARA p for HCfirst " << hc << ": " << p << "\n";
+    }
+    std::cout << "Lower HCfirst -> higher refresh probability -> more "
+                 "DRAM bandwidth\nspent on mitigation (see "
+                 "bench/fig10_mitigations).\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "hcfirst.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace rowhammer::charlib
+{
+
+namespace
+{
+
+/** True iff the flip set contains a 64-bit word with >= k flips. */
+bool
+hasWordWithKFlips(const std::vector<fault::FlipObservation> &flips, int k)
+{
+    if (k <= 1)
+        return !flips.empty();
+    std::map<std::tuple<int, int, long>, int> per_word;
+    for (const auto &f : flips) {
+        const auto key =
+            std::make_tuple(f.bank, f.row, f.bitIndex / 64);
+        if (++per_word[key] >= k)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<int>
+sampleVictimRows(const fault::ChipModel &chip, int count)
+{
+    const int rows = chip.geometry().rows;
+    const int margin = 8;
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(count) + 1);
+    for (int i = 0; i < count; ++i) {
+        const int row = margin +
+            static_cast<int>((static_cast<long>(i) * (rows - 2 * margin)) /
+                             std::max(1, count));
+        out.push_back(row);
+    }
+    out.push_back(chip.weakestRow());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::optional<std::int64_t>
+findHcFirst(fault::ChipModel &chip, const HcFirstOptions &options,
+            util::Rng &rng)
+{
+    if (options.hcMin <= 0 || options.hcMax < options.hcMin)
+        util::fatal("findHcFirst: invalid hammer-count sweep bounds");
+
+    const fault::DataPattern dp = chip.spec().worstPattern;
+    const auto victims = sampleVictimRows(chip, options.sampleRows);
+    const int bank_count = chip.geometry().banks;
+    std::optional<std::int64_t> best;
+
+    for (int victim : victims) {
+        // The weakest row lives in a specific bank; test that bank for
+        // the weakest row and the configured bank otherwise.
+        const int bank = victim == chip.weakestRow()
+                             ? chip.weakestBank()
+                             : options.bank % bank_count;
+
+        // Skip rows that show nothing even at the current upper bound
+        // (either hcMax or a previously-found better result).
+        const std::int64_t hi_bound =
+            best ? std::min<std::int64_t>(options.hcMax, *best)
+                 : options.hcMax;
+        auto flips = chip.hammerDoubleSided(bank, victim, hi_bound, dp,
+                                            rng);
+        if (!hasWordWithKFlips(flips, options.flipsPerWord))
+            continue;
+
+        // Binary search the smallest qualifying hammer count.
+        std::int64_t lo = options.hcMin;
+        std::int64_t hi = hi_bound;
+        while (hi - lo > options.resolution) {
+            const std::int64_t mid = lo + (hi - lo) / 2;
+            flips = chip.hammerDoubleSided(bank, victim, mid, dp, rng);
+            if (hasWordWithKFlips(flips, options.flipsPerWord))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        if (!best || hi < *best)
+            best = hi;
+    }
+    return best;
+}
+
+} // namespace rowhammer::charlib

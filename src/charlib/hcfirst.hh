@@ -1,0 +1,62 @@
+/**
+ * @file
+ * HCfirst measurement: the minimum hammer count that induces the first
+ * RowHammer bit flip in a chip (Section 5.5), plus the generalized
+ * HC-to-first-word-with-k-flips used by the paper's ECC study (Figure 9).
+ */
+
+#ifndef ROWHAMMER_CHARLIB_HCFIRST_HH
+#define ROWHAMMER_CHARLIB_HCFIRST_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/chip_model.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::charlib
+{
+
+/** Options controlling the HCfirst search. */
+struct HcFirstOptions
+{
+    /** Victim rows to test per chip (the weakest row is always added). */
+    int sampleRows = 48;
+    /** Hammer-count sweep bounds (the paper sweeps 2k-150k). */
+    std::int64_t hcMin = 1000;
+    std::int64_t hcMax = 150000;
+    /** Binary-search resolution in hammers. */
+    std::int64_t resolution = 100;
+    /** Bank to test (weak cells are statistically identical per bank). */
+    int bank = 0;
+    /** Flips-per-64-bit-word threshold (1 = plain HCfirst). */
+    int flipsPerWord = 1;
+};
+
+/**
+ * Measure HCfirst (or HC-kth for flipsPerWord == k) for one chip using
+ * its worst-case data pattern. Returns nullopt if no hammer count up to
+ * hcMax produces a qualifying flip (the chip is not RowHammerable in the
+ * tested range).
+ *
+ * Implementation: per victim row, binary-search the smallest HC whose
+ * double-sided hammer yields a qualifying observation; the chip-level
+ * result is the minimum across tested victims. The tested set always
+ * includes the chip's weakest row, standing in for the paper's full-chip
+ * scan (see ChipModel::weakestRow).
+ */
+std::optional<std::int64_t> findHcFirst(fault::ChipModel &chip,
+                                        const HcFirstOptions &options,
+                                        util::Rng &rng);
+
+/**
+ * Victim rows an experiment should test for this chip: an even spread
+ * across the array plus the chip's weakest row, all away from edges.
+ */
+std::vector<int> sampleVictimRows(const fault::ChipModel &chip,
+                                  int count);
+
+} // namespace rowhammer::charlib
+
+#endif // ROWHAMMER_CHARLIB_HCFIRST_HH

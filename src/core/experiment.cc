@@ -1,0 +1,146 @@
+#include "experiment.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::core
+{
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(config),
+      mixes_(workload::mixCatalogue(config.system.cores,
+                                    config.coldBytesPerApp))
+{
+    if (config_.mixCount < 1 ||
+        config_.mixCount > static_cast<int>(mixes_.size())) {
+        util::fatal("ExperimentRunner: mixCount out of range");
+    }
+}
+
+double
+ExperimentRunner::weightedSpeedup(
+    const SystemResult &shared, const std::vector<double> &alone_ipc) const
+{
+    double ws = 0.0;
+    for (std::size_t i = 0; i < shared.coreStats.size(); ++i) {
+        const double alone = alone_ipc[i];
+        if (alone > 0.0)
+            ws += shared.coreStats[i].ipc() / alone;
+    }
+    return ws;
+}
+
+const std::vector<double> &
+ExperimentRunner::aloneIpcs(int mix_index)
+{
+    auto it = aloneCache_.find(mix_index);
+    if (it != aloneCache_.end())
+        return it->second;
+
+    const workload::Mix &mix =
+        mixes_[static_cast<std::size_t>(mix_index)];
+    std::vector<double> alone;
+    for (int core = 0; core < config_.system.cores; ++core) {
+        SystemConfig solo = config_.system;
+        solo.cores = 1;
+        System system(solo,
+                      {mix.apps[static_cast<std::size_t>(core)]},
+                      config_.seed ^
+                          (static_cast<std::uint64_t>(mix_index) << 16) ^
+                          static_cast<std::uint64_t>(core));
+        const SystemResult result = system.run(
+            config_.instructionsPerCore, config_.warmupInstructions);
+        alone.push_back(result.coreStats[0].ipc());
+    }
+    return aloneCache_.emplace(mix_index, std::move(alone))
+        .first->second;
+}
+
+double
+ExperimentRunner::baselineWs(int mix_index)
+{
+    auto it = baselineCache_.find(mix_index);
+    if (it != baselineCache_.end())
+        return it->second;
+
+    const workload::Mix &mix =
+        mixes_[static_cast<std::size_t>(mix_index)];
+    System system(config_.system, mix.apps,
+                  config_.seed ^
+                      (static_cast<std::uint64_t>(mix_index) << 16));
+    mitigation::NoMitigation none;
+    system.setMitigation(&none);
+    const SystemResult result = system.run(config_.instructionsPerCore,
+                                           config_.warmupInstructions);
+    baselineMpki_[mix_index] = result.mpki();
+    const double ws = weightedSpeedup(result, aloneIpcs(mix_index));
+    return baselineCache_.emplace(mix_index, ws).first->second;
+}
+
+std::optional<MixOutcome>
+ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
+                         double hc_first)
+{
+    if (!mitigation::evaluatedAt(kind, hc_first, config_.system.timing))
+        return std::nullopt;
+
+    const workload::Mix &mix =
+        mixes_[static_cast<std::size_t>(mix_index)];
+    auto mechanism = mitigation::makeMitigation(
+        kind, hc_first, config_.system.timing,
+        config_.system.organization.rows,
+        config_.seed ^ 0x1157ULL ^
+            static_cast<std::uint64_t>(mix_index));
+
+    System system(config_.system, mix.apps,
+                  config_.seed ^
+                      (static_cast<std::uint64_t>(mix_index) << 16));
+    system.setMitigation(mechanism.get());
+    const SystemResult result = system.run(config_.instructionsPerCore,
+                                           config_.warmupInstructions);
+
+    MixOutcome outcome;
+    outcome.weightedSpeedup =
+        weightedSpeedup(result, aloneIpcs(mix_index));
+    const double base = baselineWs(mix_index);
+    outcome.normalizedPerformance =
+        base > 0.0 ? outcome.weightedSpeedup / base : 0.0;
+    outcome.bandwidthOverheadPercent =
+        result.memStats.bandwidthOverheadPercent();
+    outcome.mpki = result.mpki();
+    return outcome;
+}
+
+std::vector<SweepPoint>
+ExperimentRunner::sweep(const std::vector<double> &hc_firsts)
+{
+    std::vector<SweepPoint> points;
+    for (mitigation::Kind kind : mitigation::allKinds()) {
+        for (double hc : hc_firsts) {
+            SweepPoint point;
+            point.kind = kind;
+            point.hcFirst = hc;
+            point.evaluated = mitigation::evaluatedAt(
+                kind, hc, config_.system.timing);
+            if (point.evaluated) {
+                std::vector<int> indices = config_.mixIndices;
+                if (indices.empty()) {
+                    for (int mix = 0; mix < config_.mixCount; ++mix)
+                        indices.push_back(mix);
+                }
+                for (int mix : indices) {
+                    const auto outcome = runMix(mix, kind, hc);
+                    if (!outcome)
+                        continue;
+                    point.normalizedPerformance.add(
+                        outcome->normalizedPerformance);
+                    point.bandwidthOverheadPercent.add(
+                        outcome->bandwidthOverheadPercent);
+                }
+            }
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
+} // namespace rowhammer::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 10 experiment driver: run workload mixes against mitigation
+ * mechanisms across a sweep of HCfirst values, reporting normalized
+ * system performance (weighted speedup normalized to the no-mitigation
+ * baseline) and DRAM bandwidth overhead.
+ */
+
+#ifndef ROWHAMMER_CORE_EXPERIMENT_HH
+#define ROWHAMMER_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/system.hh"
+#include "mitigation/factory.hh"
+#include "util/stats.hh"
+
+namespace rowhammer::core
+{
+
+/** Per-(mechanism, HCfirst, mix) outcome. */
+struct MixOutcome
+{
+    double weightedSpeedup = 0.0;
+    double normalizedPerformance = 0.0; ///< vs. the mix's baseline WS.
+    double bandwidthOverheadPercent = 0.0;
+    double mpki = 0.0;
+};
+
+/** Sweep-level aggregation across mixes. */
+struct SweepPoint
+{
+    mitigation::Kind kind;
+    double hcFirst = 0.0;
+    bool evaluated = false; ///< False if the design cannot scale here.
+    util::RunningStat normalizedPerformance;
+    util::RunningStat bandwidthOverheadPercent;
+};
+
+/** Experiment configuration. */
+struct ExperimentConfig
+{
+    SystemConfig system;
+    /** Instructions per core per run (the paper uses 200M; scaled-down
+     *  runs preserve the comparison because all runs share it). */
+    std::int64_t instructionsPerCore = 300000;
+    std::int64_t warmupInstructions = 50000;
+    /** Number of catalogue mixes to run (<= 48). */
+    int mixCount = 8;
+    /** Explicit catalogue indices to run; when empty, 0..mixCount-1.
+     *  Benches spread indices across the catalogue so the full MPKI
+     *  range (10-740) is represented. */
+    std::vector<int> mixIndices;
+    /** Per-app cold footprint; scale together with the DRAM array and
+     *  LLC when shortening runs (see mixCatalogue). */
+    std::int64_t coldBytesPerApp = 256LL * 1024 * 1024;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Weighted-speedup evaluation of one mix under one mechanism.
+ *
+ * The runner caches per-app standalone IPCs and the mix's baseline
+ * weighted speedup across calls, so sweeping mechanisms and HCfirst
+ * values only pays for the mechanism runs.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config);
+
+    /** Run one mix under a mechanism; nullopt if not evaluable there. */
+    std::optional<MixOutcome> runMix(int mix_index, mitigation::Kind kind,
+                                     double hc_first);
+
+    /**
+     * Full Figure 10 sweep: every mechanism at every HCfirst value,
+     * averaged over the configured mixes.
+     */
+    std::vector<SweepPoint> sweep(const std::vector<double> &hc_firsts);
+
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    /** Weighted speedup of a shared run given standalone IPCs. */
+    double weightedSpeedup(const SystemResult &shared,
+                           const std::vector<double> &alone_ipc) const;
+
+    const std::vector<double> &aloneIpcs(int mix_index);
+    double baselineWs(int mix_index);
+
+    ExperimentConfig config_;
+    std::vector<workload::Mix> mixes_;
+    std::map<int, std::vector<double>> aloneCache_;
+    std::map<int, double> baselineCache_;
+    std::map<int, double> baselineMpki_;
+};
+
+} // namespace rowhammer::core
+
+#endif // ROWHAMMER_CORE_EXPERIMENT_HH

@@ -1,0 +1,228 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::core
+{
+
+double
+SystemResult::mpki() const
+{
+    std::int64_t retired = 0;
+    for (const auto &c : coreStats)
+        retired += c.retired;
+    if (retired == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(llcStats.misses) /
+        static_cast<double>(retired);
+}
+
+double
+SystemResult::ipcSum() const
+{
+    double sum = 0.0;
+    for (const auto &c : coreStats)
+        sum += c.ipc();
+    return sum;
+}
+
+System::System(SystemConfig config,
+               const std::vector<workload::AppProfile> &apps,
+               std::uint64_t seed)
+    : config_(config),
+      controller_(config.organization, config.timing),
+      llc_(config.llcBytes, config.llcWays, config.lineBytes)
+{
+    if (static_cast<int>(apps.size()) != config_.cores)
+        util::fatal("System: one application profile per core required");
+
+    util::Rng seeder(seed);
+    mshrInUse_.assign(static_cast<std::size_t>(config_.cores), 0);
+    for (int i = 0; i < config_.cores; ++i) {
+        traces_.push_back(std::make_unique<workload::SyntheticTrace>(
+            apps[static_cast<std::size_t>(i)], seeder.split(
+                static_cast<std::uint64_t>(i))()));
+        const int core_id = i;
+        cores_.push_back(std::make_unique<cpu::Core>(
+            *traces_.back(),
+            [this, core_id](std::uint64_t addr, bool write,
+                            std::function<void()> done) {
+                return sendFromCore(core_id, addr, write,
+                                    std::move(done));
+            },
+            config_.issueWidth, config_.windowSize));
+    }
+}
+
+void
+System::setMitigation(mitigation::Mitigation *mechanism)
+{
+    controller_.setMitigation(mechanism);
+}
+
+bool
+System::sendFromCore(int core_id, std::uint64_t addr, bool write,
+                     std::function<void()> done)
+{
+    // Wrap addresses into the channel's capacity.
+    const auto capacity = static_cast<std::uint64_t>(
+        config_.organization.totalBytes());
+    addr %= capacity;
+
+    // Conservative back-pressure check before touching LLC state, so a
+    // rejected access can be retried without a double fill.
+    if (!write && mshrInUse_[static_cast<std::size_t>(core_id)] >=
+                      config_.mshrPerCore) {
+        return false;
+    }
+    if (controller_.readQueueSpace() == 0)
+        return false;
+
+    const cpu::CacheAccessResult access = llc_.access(addr, write);
+    if (access.hit) {
+        if (done) {
+            hitQueue_.push_back(PendingHit{
+                cpuCycle_ + config_.llcHitLatencyCpu, std::move(done)});
+            std::push_heap(hitQueue_.begin(), hitQueue_.end(),
+                           std::greater<>{});
+        }
+        return true;
+    }
+
+    // Dirty victim goes back to memory (posted; best effort if the
+    // write queue is momentarily full).
+    if (access.writeback) {
+        sim::Request wb;
+        wb.addr = *access.writeback;
+        wb.type = sim::Request::Type::Write;
+        wb.coreId = core_id;
+        controller_.enqueue(std::move(wb));
+    }
+
+    sim::Request request;
+    request.addr = addr;
+    request.coreId = core_id;
+    if (write) {
+        request.type = sim::Request::Type::Write;
+        controller_.enqueue(std::move(request));
+        if (done)
+            done();
+        return true;
+    }
+
+    request.type = sim::Request::Type::Read;
+    ++mshrInUse_[static_cast<std::size_t>(core_id)];
+    auto &mshr = mshrInUse_[static_cast<std::size_t>(core_id)];
+    request.onComplete = [&mshr, done = std::move(done)] {
+        --mshr;
+        if (done)
+            done();
+    };
+    if (!controller_.enqueue(std::move(request))) {
+        --mshr;
+        return false;
+    }
+    return true;
+}
+
+void
+System::cpuTick()
+{
+    ++cpuCycle_;
+    while (!hitQueue_.empty() && hitQueue_.front().at <= cpuCycle_) {
+        std::pop_heap(hitQueue_.begin(), hitQueue_.end(),
+                      std::greater<>{});
+        auto hit = std::move(hitQueue_.back());
+        hitQueue_.pop_back();
+        hit.done();
+    }
+    for (auto &c : cores_)
+        c->tick();
+}
+
+SystemResult
+System::run(std::int64_t instructions_per_core,
+            std::int64_t warmup_instructions)
+{
+    // CPU-to-device clock ratio, e.g. 4 GHz vs 1.2 GHz = 10:3.
+    const double device_ghz = 1.0 / config_.timing.tCKns;
+    const double ratio = config_.cpuGhz / device_ghz;
+
+    auto all_retired = [&](const std::vector<std::int64_t> &targets) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (cores_[i]->stats().retired < targets[i])
+                return false;
+        }
+        return true;
+    };
+
+    auto run_until = [&](const std::vector<std::int64_t> &targets) {
+        double cpu_budget = 0.0;
+        // Guard against pathological configurations.
+        const std::int64_t max_device_cycles =
+            2LL * 1000 * 1000 * 1000;
+        std::int64_t start = controller_.now();
+        while (!all_retired(targets)) {
+            controller_.tick();
+            cpu_budget += ratio;
+            while (cpu_budget >= 1.0) {
+                cpuTick();
+                cpu_budget -= 1.0;
+            }
+            if (controller_.now() - start > max_device_cycles) {
+                util::fatal("System::run: simulation did not converge "
+                            "(mitigation overhead may be saturating "
+                            "the DRAM channel)");
+            }
+        }
+    };
+
+    if (warmup_instructions > 0) {
+        run_until(std::vector<std::int64_t>(cores_.size(),
+                                            warmup_instructions));
+    }
+
+    // Snapshot post-warmup counters and report deltas.
+    std::vector<cpu::CoreStats> base_core;
+    for (const auto &c : cores_)
+        base_core.push_back(c->stats());
+    const cpu::CacheStats base_llc = llc_.stats();
+    const sim::ControllerStats base_mem = controller_.stats();
+    const std::int64_t base_cpu = cpuCycle_;
+
+    // Measure exactly instructions_per_core beyond each core's actual
+    // post-warmup count (warmup may overshoot by a few instructions).
+    std::vector<std::int64_t> targets;
+    for (const auto &c : base_core)
+        targets.push_back(c.retired + instructions_per_core);
+    run_until(targets);
+
+    SystemResult result;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cpu::CoreStats delta = cores_[i]->stats();
+        delta.cycles -= base_core[i].cycles;
+        delta.retired -= base_core[i].retired;
+        delta.memReads -= base_core[i].memReads;
+        delta.memWrites -= base_core[i].memWrites;
+        result.coreStats.push_back(delta);
+    }
+    result.llcStats = llc_.stats();
+    result.llcStats.accesses -= base_llc.accesses;
+    result.llcStats.hits -= base_llc.hits;
+    result.llcStats.misses -= base_llc.misses;
+    result.llcStats.writebacks -= base_llc.writebacks;
+    result.memStats = controller_.stats();
+    result.memStats.cycles -= base_mem.cycles;
+    result.memStats.readsServed -= base_mem.readsServed;
+    result.memStats.writesServed -= base_mem.writesServed;
+    result.memStats.demandActs -= base_mem.demandActs;
+    result.memStats.autoRefreshes -= base_mem.autoRefreshes;
+    result.memStats.mitigationRefreshes -= base_mem.mitigationRefreshes;
+    result.memStats.mitigationBusyCycles -= base_mem.mitigationBusyCycles;
+    result.cpuCycles = cpuCycle_ - base_cpu;
+    return result;
+}
+
+} // namespace rowhammer::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Full-system model per the paper's Table 6: N trace-driven cores at
+ * 4 GHz sharing a 16 MB LLC and a single-channel DDR4 memory system,
+ * with an optional RowHammer mitigation mechanism attached to the
+ * memory controller. This is the simulation harness behind Figure 10.
+ */
+
+#ifndef ROWHAMMER_CORE_SYSTEM_HH
+#define ROWHAMMER_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/cache.hh"
+#include "cpu/core.hh"
+#include "mitigation/mitigation.hh"
+#include "sim/controller.hh"
+#include "workload/synthetic.hh"
+
+namespace rowhammer::core
+{
+
+/** System configuration (defaults = the paper's Table 6). */
+struct SystemConfig
+{
+    int cores = 8;
+    double cpuGhz = 4.0;
+    int issueWidth = 4;
+    int windowSize = 128;
+    std::int64_t llcBytes = 16LL * 1024 * 1024;
+    int llcWays = 8;
+    int lineBytes = 64;
+    int llcHitLatencyCpu = 20; ///< CPU cycles.
+    int mshrPerCore = 16;
+    dram::Organization organization = dram::table6Organization();
+    dram::TimingSpec timing = dram::ddr4_2400();
+};
+
+/** Results of one system run. */
+struct SystemResult
+{
+    std::vector<cpu::CoreStats> coreStats;
+    cpu::CacheStats llcStats;
+    sim::ControllerStats memStats;
+    std::int64_t cpuCycles = 0;
+
+    /** Aggregate LLC misses per kilo-instruction across cores. */
+    double mpki() const;
+
+    /** Sum of per-core IPCs. */
+    double ipcSum() const;
+};
+
+/**
+ * One simulated machine instance. Construct, optionally attach a
+ * mitigation, then run() to completion.
+ */
+class System
+{
+  public:
+    /**
+     * @param config Machine parameters.
+     * @param apps One application profile per core (size must equal
+     *     config.cores).
+     * @param seed Seed for the synthetic traces.
+     */
+    System(SystemConfig config,
+           const std::vector<workload::AppProfile> &apps,
+           std::uint64_t seed);
+
+    /** Attach a mitigation mechanism (not owned; may be nullptr). */
+    void setMitigation(mitigation::Mitigation *mechanism);
+
+    /**
+     * Run until every core has retired at least
+     * `instructions_per_core`, with `warmup_instructions` retired first
+     * (caches warm; stats reset afterwards).
+     */
+    SystemResult run(std::int64_t instructions_per_core,
+                     std::int64_t warmup_instructions = 0);
+
+  private:
+    struct PendingHit
+    {
+        std::int64_t at; ///< CPU cycle of completion.
+        std::function<void()> done;
+
+        bool operator>(const PendingHit &other) const
+        {
+            return at > other.at;
+        }
+    };
+
+    bool sendFromCore(int core_id, std::uint64_t addr, bool write,
+                      std::function<void()> done);
+    void cpuTick();
+
+    SystemConfig config_;
+    sim::Controller controller_;
+    cpu::Cache llc_;
+    std::vector<std::unique_ptr<workload::SyntheticTrace>> traces_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<int> mshrInUse_;
+    std::vector<PendingHit> hitQueue_;
+    std::int64_t cpuCycle_ = 0;
+};
+
+} // namespace rowhammer::core
+
+#endif // ROWHAMMER_CORE_SYSTEM_HH

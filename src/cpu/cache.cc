@@ -1,0 +1,66 @@
+#include "cache.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::cpu
+{
+
+Cache::Cache(std::int64_t size_bytes, int ways, int line_bytes)
+    : ways_(ways), lineBytes_(line_bytes)
+{
+    if (ways <= 0 || line_bytes <= 0 || size_bytes <= 0)
+        util::fatal("Cache: all parameters must be positive");
+    const std::int64_t lines = size_bytes / line_bytes;
+    if (lines % ways != 0)
+        util::fatal("Cache: size must divide evenly into ways");
+    sets_ = static_cast<std::size_t>(lines / ways);
+    if ((sets_ & (sets_ - 1)) != 0)
+        util::fatal("Cache: set count must be a power of two");
+    lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t addr, bool write)
+{
+    CacheAccessResult result;
+    ++stats_.accesses;
+    ++useClock_;
+
+    const std::uint64_t line_addr =
+        addr / static_cast<std::uint64_t>(lineBytes_);
+    const std::size_t set =
+        static_cast<std::size_t>(line_addr) & (sets_ - 1);
+    const std::uint64_t tag = line_addr / sets_;
+    Line *base = &lines_[set * static_cast<std::size_t>(ways_)];
+
+    Line *victim = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || write;
+            result.hit = true;
+            return result;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        result.writeback = (victim->tag * sets_ + set) *
+            static_cast<std::uint64_t>(lineBytes_);
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+} // namespace rowhammer::cpu

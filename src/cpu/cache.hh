@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative last-level cache model per Table 6: 16 MB, 8-way,
+ * 64-byte lines, LRU replacement, write-back with write-allocate.
+ */
+
+#ifndef ROWHAMMER_CPU_CACHE_HH
+#define ROWHAMMER_CPU_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rowhammer::cpu
+{
+
+/** Cache lookup outcome. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Dirty line evicted by the fill, if any (its byte address). */
+    std::optional<std::uint64_t> writeback;
+};
+
+/** Statistics. */
+struct CacheStats
+{
+    std::int64_t accesses = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t writebacks = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Blocking-fill LRU cache. access() performs lookup and (on miss) an
+ * immediate fill, returning any dirty victim for write-back; latency and
+ * MSHR effects are modeled by the caller (System).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity (Table 6: 16 MB).
+     * @param ways Associativity (8).
+     * @param line_bytes Line size (64).
+     */
+    Cache(std::int64_t size_bytes, int ways, int line_bytes);
+
+    /** Look up `addr`; on miss, fill it. `write` marks the line dirty. */
+    CacheAccessResult access(std::uint64_t addr, bool write);
+
+    const CacheStats &stats() const { return stats_; }
+
+    int ways() const { return ways_; }
+    std::int64_t sets() const { return static_cast<std::int64_t>(sets_); }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    int ways_;
+    int lineBytes_;
+    std::size_t sets_;
+    std::vector<Line> lines_; ///< sets_ x ways_, row-major.
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace rowhammer::cpu
+
+#endif // ROWHAMMER_CPU_CACHE_HH

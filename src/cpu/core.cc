@@ -1,0 +1,73 @@
+#include "core.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::cpu
+{
+
+Core::Core(TraceSource &trace, SendFn send, int issue_width,
+           int window_size)
+    : trace_(trace), send_(std::move(send)), issueWidth_(issue_width),
+      windowSize_(window_size)
+{
+    if (issue_width <= 0 || window_size <= 0)
+        util::fatal("Core: issue width and window size must be positive");
+}
+
+void
+Core::tick()
+{
+    ++stats_.cycles;
+
+    // Retire in order, up to the issue width.
+    for (int i = 0; i < issueWidth_ && !window_.empty(); ++i) {
+        if (!window_.front().done)
+            break;
+        window_.pop_front();
+        ++stats_.retired;
+    }
+
+    // Issue up to the issue width.
+    for (int i = 0; i < issueWidth_; ++i) {
+        if (!haveEntry_) {
+            entry_ = trace_.next();
+            pendingBubbles_ = entry_.bubbles;
+            haveEntry_ = true;
+        }
+        if (pendingBubbles_ > 0) {
+            if (static_cast<int>(window_.size()) >= windowSize_)
+                break;
+            window_.push_back(WindowEntry{true});
+            --pendingBubbles_;
+            continue;
+        }
+        // The pending memory access.
+        if (entry_.write) {
+            if (static_cast<int>(window_.size()) >= windowSize_)
+                break;
+            // Posted write: does not block retirement, but must be
+            // accepted by the memory system.
+            if (!send_(entry_.addr, true, nullptr))
+                break;
+            window_.push_back(WindowEntry{true});
+            ++stats_.memWrites;
+            haveEntry_ = false;
+            continue;
+        }
+        if (static_cast<int>(window_.size()) >= windowSize_)
+            break;
+        window_.push_back(WindowEntry{false});
+        // std::deque keeps references to existing elements valid across
+        // push/pop at the ends, so capturing the slot address is safe:
+        // the entry cannot retire (and thus be popped) until done.
+        WindowEntry *slot = &window_.back();
+        if (!send_(entry_.addr, false, [slot] { slot->done = true; })) {
+            window_.pop_back();
+            break;
+        }
+        ++stats_.memReads;
+        haveEntry_ = false;
+    }
+}
+
+} // namespace rowhammer::cpu

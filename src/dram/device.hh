@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cycle-accurate DRAM device model. Tracks per-bank/bank-group/rank/channel
+ * timing state, validates every command against the active TimingSpec, and
+ * exposes earliest-issue queries so a controller can schedule without
+ * trial-and-error. An observer hook publishes the issued command stream to
+ * interested parties (RowHammer fault model, mitigation mechanisms,
+ * characterization instrumentation).
+ */
+
+#ifndef ROWHAMMER_DRAM_DEVICE_HH
+#define ROWHAMMER_DRAM_DEVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+#include "dram/types.hh"
+
+namespace rowhammer::dram
+{
+
+/** Per-command issue counters, exposed for stats and tests. */
+struct DeviceStats
+{
+    std::int64_t acts = 0;
+    std::int64_t pres = 0;
+    std::int64_t reads = 0;
+    std::int64_t writes = 0;
+    std::int64_t refreshes = 0;
+};
+
+/**
+ * One DRAM channel: geometry + timing + state. All cycle arguments are in
+ * device clock cycles and must be non-decreasing across issue() calls.
+ */
+class Device
+{
+  public:
+    /** Callback invoked after every successfully issued command. */
+    using Observer = std::function<void(Command, const Address &, Cycle)>;
+
+    Device(Organization org, TimingSpec timing);
+
+    const Organization &organization() const { return org_; }
+    const TimingSpec &timing() const { return timing_; }
+    const DeviceStats &stats() const { return stats_; }
+
+    /**
+     * Earliest cycle >= now at which cmd to addr satisfies every timing
+     * constraint. Does not check bank open/closed state (use the state
+     * queries / canIssue for that).
+     */
+    Cycle earliest(Command cmd, const Address &addr, Cycle now) const;
+
+    /**
+     * True iff cmd to addr is structurally legal at cycle `at` (bank
+     * state allows it and all timing constraints are met).
+     */
+    bool canIssue(Command cmd, const Address &addr, Cycle at) const;
+
+    /**
+     * Issue cmd to addr at cycle `at`. Panics if the command violates
+     * timing or bank state: the controller is required to pre-validate
+     * with canIssue/earliest. Notifies the observer.
+     */
+    void issue(Command cmd, const Address &addr, Cycle at);
+
+    /** True iff the addressed bank has an open row. */
+    bool isOpen(const Address &addr) const;
+
+    /** Open row of the addressed bank; panics if closed. */
+    int openRow(const Address &addr) const;
+
+    /** Cycle at which the read data burst completes for a RD at `at`. */
+    Cycle readDataAt(Cycle at) const { return at + timing_.tCL + timing_.tBL; }
+
+    /** Cycle at which the write burst completes for a WR at `at`. */
+    Cycle writeDataAt(Cycle at) const
+    {
+        return at + timing_.writeBurstEnd();
+    }
+
+    /** Register the command-stream observer (replaces any previous). */
+    void setObserver(Observer observer) { observer_ = std::move(observer); }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        int row = -1;
+        Cycle nextAct = 0;
+        Cycle nextPre = 0;
+        Cycle nextRdWr = 0;
+    };
+
+    struct GroupState
+    {
+        Cycle nextAct = 0;  // tRRD_L.
+        Cycle nextRd = 0;   // tCCD_L / tWTR_L.
+        Cycle nextWr = 0;   // tCCD_L.
+    };
+
+    struct RankState
+    {
+        Cycle nextAct = 0;      // tRRD_S.
+        Cycle nextRd = 0;       // tCCD_S / tWTR_S / turnaround.
+        Cycle nextWr = 0;       // tCCD_S / turnaround.
+        Cycle nextAny = 0;      // tRFC after REF.
+        std::deque<Cycle> actWindow; // Last ACT times for tFAW.
+    };
+
+    const BankState &bank(const Address &addr) const;
+    BankState &bank(const Address &addr);
+    const GroupState &group(const Address &addr) const;
+    GroupState &group(const Address &addr);
+
+    Cycle earliestPre(const Address &addr) const;
+
+    Organization org_;
+    TimingSpec timing_;
+    std::vector<BankState> banks_;
+    std::vector<GroupState> groups_;
+    std::vector<RankState> ranks_;
+    DeviceStats stats_;
+    Observer observer_;
+    Cycle lastIssue_ = -1;
+};
+
+} // namespace rowhammer::dram
+
+#endif // ROWHAMMER_DRAM_DEVICE_HH

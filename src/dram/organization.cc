@@ -1,0 +1,45 @@
+#include "organization.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::dram
+{
+
+void
+Organization::check() const
+{
+    if (ranks <= 0 || bankGroups <= 0 || banksPerGroup <= 0 || rows <= 0 ||
+        columns <= 0 || bytesPerColumn <= 0) {
+        util::fatal("Organization: all dimensions must be positive");
+    }
+}
+
+Organization
+table6Organization()
+{
+    Organization org;
+    org.ranks = 1;
+    org.bankGroups = 4;
+    org.banksPerGroup = 4;
+    org.rows = 16384;
+    org.columns = 128;
+    org.bytesPerColumn = 64;
+    org.check();
+    return org;
+}
+
+Organization
+tinyOrganization()
+{
+    Organization org;
+    org.ranks = 1;
+    org.bankGroups = 2;
+    org.banksPerGroup = 2;
+    org.rows = 64;
+    org.columns = 8;
+    org.bytesPerColumn = 64;
+    org.check();
+    return org;
+}
+
+} // namespace rowhammer::dram

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAM organization: the channel/rank/bank-group/bank/row/column geometry
+ * of a device, plus flattened-index helpers. Defaults follow the paper's
+ * Table 6 simulation configuration.
+ */
+
+#ifndef ROWHAMMER_DRAM_ORGANIZATION_HH
+#define ROWHAMMER_DRAM_ORGANIZATION_HH
+
+#include <cstdint>
+
+#include "dram/types.hh"
+
+namespace rowhammer::dram
+{
+
+/**
+ * Geometry of one DRAM channel. Table 6 of the paper: 1 channel, 1 rank,
+ * 4 bank groups x 4 banks, 16k rows per bank; we default the row to 128
+ * cache-line-sized columns (8 KB row).
+ */
+struct Organization
+{
+    int ranks = 1;
+    int bankGroups = 4;
+    int banksPerGroup = 4;
+    int rows = 16384;
+    int columns = 128;      ///< Cache-line-granularity column addresses.
+    int bytesPerColumn = 64;
+
+    /** Banks per rank. */
+    int banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Banks in the whole channel. */
+    int totalBanks() const { return ranks * banksPerRank(); }
+
+    /** Rows in the whole channel. */
+    std::int64_t totalRows() const
+    {
+        return static_cast<std::int64_t>(totalBanks()) * rows;
+    }
+
+    /** Row size in bytes. */
+    std::int64_t rowBytes() const
+    {
+        return static_cast<std::int64_t>(columns) * bytesPerColumn;
+    }
+
+    /** Channel capacity in bytes. */
+    std::int64_t totalBytes() const { return totalRows() * rowBytes(); }
+
+    /** Flattened bank index in [0, totalBanks()). */
+    int flatBank(const Address &addr) const
+    {
+        return (addr.rank * bankGroups + addr.bankGroup) * banksPerGroup +
+            addr.bank;
+    }
+
+    /** Flattened row index in [0, totalRows()). */
+    std::int64_t flatRow(const Address &addr) const
+    {
+        return static_cast<std::int64_t>(flatBank(addr)) * rows + addr.row;
+    }
+
+    /** True iff all fields of addr are in range. */
+    bool contains(const Address &addr) const
+    {
+        return addr.rank >= 0 && addr.rank < ranks && addr.bankGroup >= 0 &&
+            addr.bankGroup < bankGroups && addr.bank >= 0 &&
+            addr.bank < banksPerGroup && addr.row >= 0 && addr.row < rows &&
+            addr.column >= 0 && addr.column < columns;
+    }
+
+    /** Validate; fatal() on nonsensical geometry. */
+    void check() const;
+};
+
+/** The Table 6 system configuration geometry. */
+Organization table6Organization();
+
+/** A small geometry for fast unit tests (2 groups x 2 banks x 64 rows). */
+Organization tinyOrganization();
+
+} // namespace rowhammer::dram
+
+#endif // ROWHAMMER_DRAM_ORGANIZATION_HH

@@ -1,0 +1,142 @@
+#include "timing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rowhammer::dram
+{
+
+Cycle
+TimingSpec::toCycles(double ns) const
+{
+    return static_cast<Cycle>(std::ceil(ns / tCKns - 1e-9));
+}
+
+int
+TimingSpec::refreshesPerWindow() const
+{
+    return static_cast<int>(refreshWindowCycles() / tREFI);
+}
+
+void
+TimingSpec::check() const
+{
+    if (tCKns <= 0.0)
+        util::fatal("TimingSpec: tCK must be positive");
+    if (tRC < tRAS + tRP)
+        util::fatal("TimingSpec: tRC must cover tRAS + tRP");
+    if (tRAS < tRCD)
+        util::fatal("TimingSpec: tRAS must cover tRCD");
+    if (tCCDL < tCCDS || tRRDL < tRRDS || tWTRL < tWTRS)
+        util::fatal("TimingSpec: same-bank-group timings must dominate");
+    if (tREFI <= 0 || tRFC <= 0 || tREFWms <= 0)
+        util::fatal("TimingSpec: refresh parameters must be positive");
+    if (tRFC >= tREFI)
+        util::fatal("TimingSpec: tRFC must be shorter than tREFI");
+}
+
+TimingSpec
+ddr3_1600()
+{
+    TimingSpec t;
+    t.standard = Standard::DDR3;
+    t.tCKns = 1.25;
+    t.tRCD = 11;
+    t.tRP = 11;
+    t.tRAS = 28;
+    t.tRC = 39; // 48.75 ns.
+    t.tCL = 11;
+    t.tCWL = 8;
+    t.tBL = 4;
+    t.tRTP = 6;
+    t.tWR = 12;
+    // DDR3 has no bank groups: S and L variants coincide.
+    t.tCCDS = 4;
+    t.tCCDL = 4;
+    t.tRRDS = 6;
+    t.tRRDL = 6;
+    t.tFAW = 32;
+    t.tWTRS = 6;
+    t.tWTRL = 6;
+    t.tRFC = 208;  // 260 ns (4 Gb).
+    t.tREFI = 6240; // 7.8 us.
+    t.tREFWms = 64.0;
+    t.check();
+    return t;
+}
+
+TimingSpec
+ddr4_2400()
+{
+    TimingSpec t;
+    t.standard = Standard::DDR4;
+    t.tCKns = 0.833;
+    t.tRCD = 16;
+    t.tRP = 16;
+    t.tRAS = 39;
+    t.tRC = 55; // 45.8 ns.
+    t.tCL = 16;
+    t.tCWL = 12;
+    t.tBL = 4;
+    t.tRTP = 9;
+    t.tWR = 18;
+    t.tCCDS = 4;
+    t.tCCDL = 6;
+    t.tRRDS = 4;
+    t.tRRDL = 6;
+    t.tFAW = 26;
+    t.tWTRS = 3;
+    t.tWTRL = 9;
+    t.tRFC = 420;  // 350 ns (8 Gb).
+    t.tREFI = 9363; // 7.8 us.
+    t.tREFWms = 64.0;
+    t.check();
+    return t;
+}
+
+TimingSpec
+lpddr4_3200()
+{
+    TimingSpec t;
+    t.standard = Standard::LPDDR4;
+    t.tCKns = 0.625;
+    t.tRCD = 29;
+    t.tRP = 29;
+    t.tRAS = 67;
+    t.tRC = 96; // 60 ns.
+    t.tCL = 28;
+    t.tCWL = 14;
+    t.tBL = 8;
+    t.tRTP = 12;
+    t.tWR = 29;
+    // LPDDR4 has no bank groups: S and L variants coincide.
+    t.tCCDS = 8;
+    t.tCCDL = 8;
+    t.tRRDS = 10;
+    t.tRRDL = 10;
+    t.tFAW = 64;
+    t.tWTRS = 16;
+    t.tWTRL = 16;
+    t.tRFC = 448;  // 280 ns (8 Gb).
+    t.tREFI = 6248; // 3.9 us (32 ms window / 8192).
+    t.tREFWms = 32.0;
+    t.check();
+    return t;
+}
+
+TimingSpec
+defaultTiming(Standard standard)
+{
+    switch (standard) {
+      case Standard::DDR3:
+        return ddr3_1600();
+      case Standard::DDR4:
+        return ddr4_2400();
+      case Standard::LPDDR4:
+        return lpddr4_3200();
+    }
+    util::panic("defaultTiming: unknown Standard");
+}
+
+} // namespace rowhammer::dram

@@ -1,0 +1,43 @@
+#include "types.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::dram
+{
+
+std::string
+toString(Standard standard)
+{
+    switch (standard) {
+      case Standard::DDR3:
+        return "DDR3";
+      case Standard::DDR4:
+        return "DDR4";
+      case Standard::LPDDR4:
+        return "LPDDR4";
+    }
+    util::panic("toString: unknown Standard");
+}
+
+std::string
+toString(Command cmd)
+{
+    switch (cmd) {
+      case Command::ACT:
+        return "ACT";
+      case Command::PRE:
+        return "PRE";
+      case Command::PREA:
+        return "PREA";
+      case Command::RD:
+        return "RD";
+      case Command::WR:
+        return "WR";
+      case Command::REF:
+        return "REF";
+      default:
+        util::panic("toString: unknown Command");
+    }
+}
+
+} // namespace rowhammer::dram

@@ -1,0 +1,166 @@
+#include "hamming.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::ecc
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::size_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+HammingSec::HammingSec(std::size_t data_bits) : dataBits_(data_bits)
+{
+    if (data_bits == 0)
+        util::fatal("HammingSec: data width must be positive");
+
+    // Smallest r with 2^r >= data_bits + r + 1.
+    std::size_t r = 0;
+    while ((1ULL << r) < data_bits + r + 1)
+        ++r;
+    parityBits_ = r;
+
+    positionToData_.assign(codeBits() + 1, -1);
+    dataPosition_.reserve(dataBits_);
+    std::size_t data_idx = 0;
+    for (std::size_t pos = 1; pos <= codeBits(); ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        dataPosition_.push_back(pos);
+        positionToData_[pos] = static_cast<long>(data_idx++);
+    }
+}
+
+util::BitVec
+HammingSec::encode(const util::BitVec &data) const
+{
+    if (data.size() != dataBits_)
+        util::panic("HammingSec::encode: data width mismatch");
+
+    // Codeword indexed 0-based as position-1.
+    util::BitVec code(codeBits());
+    std::size_t syndrome = 0;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        if (data.get(i)) {
+            code.set(dataPosition_[i] - 1, true);
+            syndrome ^= dataPosition_[i];
+        }
+    }
+    // Each parity bit p at position 2^j makes the syndrome zero.
+    for (std::size_t j = 0; j < parityBits_; ++j) {
+        const std::size_t pos = 1ULL << j;
+        if (syndrome & pos)
+            code.set(pos - 1, true);
+    }
+    return code;
+}
+
+DecodeResult
+HammingSec::decode(const util::BitVec &codeword) const
+{
+    if (codeword.size() != codeBits())
+        util::panic("HammingSec::decode: codeword width mismatch");
+
+    std::size_t syndrome = 0;
+    for (std::size_t pos = 1; pos <= codeBits(); ++pos) {
+        if (codeword.get(pos - 1))
+            syndrome ^= pos;
+    }
+
+    DecodeResult result;
+    util::BitVec corrected = codeword;
+    if (syndrome == 0) {
+        result.status = DecodeStatus::NoError;
+    } else if (syndrome <= codeBits()) {
+        // Either a true single-bit error or an aliased multi-bit error:
+        // the decoder cannot tell, and flips the indicated position.
+        corrected.flip(syndrome - 1);
+        result.status = DecodeStatus::Corrected;
+        result.correctedBit = static_cast<long>(syndrome - 1);
+    } else {
+        // Invalid syndrome (points beyond the codeword): detectable but
+        // uncorrectable; the word passes through unmodified.
+        result.status = DecodeStatus::DetectedOnly;
+    }
+
+    result.data = util::BitVec(dataBits_);
+    for (std::size_t i = 0; i < dataBits_; ++i)
+        result.data.set(i, corrected.get(dataPosition_[i] - 1));
+    return result;
+}
+
+util::BitVec
+HammingSec::extractData(const util::BitVec &codeword) const
+{
+    if (codeword.size() != codeBits())
+        util::panic("HammingSec::extractData: codeword width mismatch");
+    util::BitVec data(dataBits_);
+    for (std::size_t i = 0; i < dataBits_; ++i)
+        data.set(i, codeword.get(dataPosition_[i] - 1));
+    return data;
+}
+
+SecDed::SecDed(std::size_t data_bits) : inner_(data_bits) {}
+
+util::BitVec
+SecDed::encode(const util::BitVec &data) const
+{
+    util::BitVec inner_code = inner_.encode(data);
+    util::BitVec code(codeBits());
+    bool parity = false;
+    for (std::size_t i = 0; i < inner_code.size(); ++i) {
+        const bool bit = inner_code.get(i);
+        code.set(i, bit);
+        parity ^= bit;
+    }
+    code.set(codeBits() - 1, parity);
+    return code;
+}
+
+DecodeResult
+SecDed::decode(const util::BitVec &codeword) const
+{
+    if (codeword.size() != codeBits())
+        util::panic("SecDed::decode: codeword width mismatch");
+
+    bool parity = false;
+    util::BitVec inner_code(inner_.codeBits());
+    for (std::size_t i = 0; i + 1 < codeBits(); ++i) {
+        inner_code.set(i, codeword.get(i));
+        parity ^= codeword.get(i);
+    }
+    const bool overall_mismatch = parity != codeword.get(codeBits() - 1);
+
+    DecodeResult inner_result = inner_.decode(inner_code);
+
+    DecodeResult result;
+    result.data = inner_result.data;
+    if (inner_result.status == DecodeStatus::NoError) {
+        // Clean syndrome. Parity mismatch means the error is in the
+        // overall parity bit itself; data is fine either way.
+        result.status = overall_mismatch ? DecodeStatus::Corrected
+                                         : DecodeStatus::NoError;
+        return result;
+    }
+    if (!overall_mismatch) {
+        // Non-zero syndrome with even overall parity: double-bit error.
+        // Detected, not corrected: return the stored (uncorrected) data.
+        result.status = DecodeStatus::DetectedOnly;
+        result.data = inner_.extractData(inner_code);
+        return result;
+    }
+    // Odd overall parity + non-zero syndrome: single error, trust the
+    // inner correction (which may still be a miscorrection for 3+ flips).
+    result.status = DecodeStatus::Corrected;
+    result.correctedBit = inner_result.correctedBit;
+    return result;
+}
+
+} // namespace rowhammer::ecc

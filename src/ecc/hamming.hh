@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hamming single-error-correcting codes and the SEC-DED extension, over an
+ * arbitrary data width. Used both for the paper's 64-bit rank-level ECC
+ * study (Figure 9) and as the inner code of the LPDDR4 on-die (136,128)
+ * ECC model.
+ *
+ * Decoding deliberately models the *real* behaviour of a SEC decoder fed
+ * more errors than it can correct: the syndrome aliases onto some valid
+ * single-bit pattern and the decoder "corrects" a bit that was never
+ * wrong (a miscorrection), or the syndrome is invalid and the decoder
+ * leaves the word alone. Section 5.4 of the paper leans on exactly this
+ * undefined behaviour to explain LPDDR4 observations.
+ */
+
+#ifndef ROWHAMMER_ECC_HAMMING_HH
+#define ROWHAMMER_ECC_HAMMING_HH
+
+#include <cstddef>
+
+#include "util/bitvec.hh"
+
+namespace rowhammer::ecc
+{
+
+/** Outcome of a decode attempt. */
+enum class DecodeStatus
+{
+    NoError,       ///< Syndrome clean; data returned as stored.
+    Corrected,     ///< A single bit was corrected (possibly a miscorrection
+                   ///< if the true error count exceeded the code strength).
+    DetectedOnly,  ///< Error detected but not corrected (invalid syndrome
+                   ///< or SEC-DED double-error signal).
+};
+
+/** Result of decoding one codeword. */
+struct DecodeResult
+{
+    util::BitVec data;   ///< Decoded data bits (width = dataBits()).
+    DecodeStatus status = DecodeStatus::NoError;
+    /** Codeword bit index the decoder flipped, or -1. */
+    long correctedBit = -1;
+};
+
+/**
+ * Classic position-coded Hamming SEC over k data bits. Parity bits sit at
+ * power-of-two codeword positions (1-based), data bits fill the rest.
+ */
+class HammingSec
+{
+  public:
+    /** Build the code for the given data width (e.g. 64 or 128). */
+    explicit HammingSec(std::size_t data_bits);
+
+    std::size_t dataBits() const { return dataBits_; }
+    std::size_t parityBits() const { return parityBits_; }
+    std::size_t codeBits() const { return dataBits_ + parityBits_; }
+
+    /** Encode data (width dataBits()) into a codeword (width codeBits()). */
+    util::BitVec encode(const util::BitVec &data) const;
+
+    /**
+     * Decode a (possibly corrupted) codeword. Single-bit errors are
+     * corrected exactly; multi-bit errors produce the realistic aliasing
+     * behaviour documented in the file header.
+     */
+    DecodeResult decode(const util::BitVec &codeword) const;
+
+    /** Extract the data bits of a codeword without any correction. */
+    util::BitVec extractData(const util::BitVec &codeword) const;
+
+  private:
+    std::size_t dataBits_;
+    std::size_t parityBits_;
+    /** 1-based codeword position of each data bit. */
+    std::vector<std::size_t> dataPosition_;
+    /** Map 1-based position -> data index, or -1 for parity positions. */
+    std::vector<long> positionToData_;
+};
+
+/**
+ * Extended Hamming SEC-DED: HammingSec plus an overall parity bit, so
+ * double-bit errors are detected (DetectedOnly) rather than miscorrected.
+ * This is the classic (72,64) rank-level ECC.
+ */
+class SecDed
+{
+  public:
+    explicit SecDed(std::size_t data_bits);
+
+    std::size_t dataBits() const { return inner_.dataBits(); }
+    std::size_t codeBits() const { return inner_.codeBits() + 1; }
+
+    util::BitVec encode(const util::BitVec &data) const;
+    DecodeResult decode(const util::BitVec &codeword) const;
+
+  private:
+    HammingSec inner_;
+};
+
+} // namespace rowhammer::ecc
+
+#endif // ROWHAMMER_ECC_HAMMING_HH

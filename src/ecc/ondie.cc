@@ -1,0 +1,52 @@
+#include "ondie.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::ecc
+{
+
+OnDieEcc::OnDieEcc(std::size_t data_bits) : code_(data_bits) {}
+
+util::BitVec
+OnDieEcc::store(const util::BitVec &data) const
+{
+    return code_.encode(data);
+}
+
+util::BitVec
+OnDieEcc::readWord(const util::BitVec &stored_with_flips,
+                   OnDieEccStats *stats) const
+{
+    DecodeResult result = code_.decode(stored_with_flips);
+    if (stats) {
+        ++stats->wordsRead;
+        switch (result.status) {
+          case DecodeStatus::NoError:
+            ++stats->cleanWords;
+            break;
+          case DecodeStatus::Corrected:
+            ++stats->corrections;
+            break;
+          case DecodeStatus::DetectedOnly:
+            ++stats->detectedOnly;
+            break;
+        }
+    }
+    return result.data;
+}
+
+util::BitVec
+OnDieEcc::readWithFlips(const util::BitVec &data,
+                        const std::vector<std::size_t> &flips,
+                        OnDieEccStats *stats) const
+{
+    util::BitVec stored = store(data);
+    for (std::size_t bit : flips) {
+        if (bit >= stored.size())
+            util::panic("OnDieEcc::readWithFlips: flip index out of range");
+        stored.flip(bit);
+    }
+    return readWord(stored, stats);
+}
+
+} // namespace rowhammer::ecc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LPDDR4 on-die ECC model: a (136,128) Hamming SEC operating entirely
+ * inside the DRAM chip. The system never sees the parity bits and cannot
+ * disable the mechanism — exactly the situation the paper faces with its
+ * LPDDR4-1x/1y chips (Section 4.3, Observations 9 and 14).
+ *
+ * The model works at the "stored codeword" level: the fault model flips
+ * raw stored bits (data or parity alike), and readWord() plays the role
+ * of the chip's read path, correcting / miscorrecting / passing through
+ * per true SEC decoder behaviour.
+ */
+
+#ifndef ROWHAMMER_ECC_ONDIE_HH
+#define ROWHAMMER_ECC_ONDIE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/hamming.hh"
+#include "util/bitvec.hh"
+
+namespace rowhammer::ecc
+{
+
+/** Statistics kept by the on-die ECC model across reads. */
+struct OnDieEccStats
+{
+    long wordsRead = 0;
+    long corrections = 0;    ///< Decoder flipped a bit (incl. miscorrects).
+    long detectedOnly = 0;   ///< Invalid syndrome, word passed through.
+    long cleanWords = 0;
+};
+
+/**
+ * On-die ECC engine with the paper's 128-bit word granularity.
+ *
+ * The engine is stateless per word: callers hand it the written data and
+ * the set of raw bit flips the fault model produced over the *stored
+ * codeword* (indices in [0, codeBits())), and get back the post-ECC data
+ * the system would observe.
+ */
+class OnDieEcc
+{
+  public:
+    /** Word granularity in data bits; the paper's chips use 128. */
+    explicit OnDieEcc(std::size_t data_bits = 128);
+
+    std::size_t dataBits() const { return code_.dataBits(); }
+    std::size_t codeBits() const { return code_.codeBits(); }
+
+    /** Encode written data into the stored codeword. */
+    util::BitVec store(const util::BitVec &data) const;
+
+    /**
+     * Model a read of a stored codeword that accumulated raw bit flips.
+     * Returns the data word the system observes after on-die correction.
+     */
+    util::BitVec readWord(const util::BitVec &stored_with_flips,
+                          OnDieEccStats *stats = nullptr) const;
+
+    /**
+     * Convenience: apply flips (codeword bit indices) to the encoding of
+     * `data` and decode. This is the common fault-model path.
+     */
+    util::BitVec readWithFlips(const util::BitVec &data,
+                               const std::vector<std::size_t> &flips,
+                               OnDieEccStats *stats = nullptr) const;
+
+  private:
+    HammingSec code_;
+};
+
+} // namespace rowhammer::ecc
+
+#endif // ROWHAMMER_ECC_ONDIE_HH

@@ -1,0 +1,38 @@
+#include "terror.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace rowhammer::ecc
+{
+
+TErrorEcc::TErrorEcc(std::size_t correctable, std::size_t word_bits)
+    : correctable_(correctable), wordBits_(word_bits)
+{
+    if (word_bits == 0)
+        util::fatal("TErrorEcc: word granularity must be positive");
+}
+
+std::vector<std::size_t>
+TErrorEcc::surviveErrors(const std::vector<std::size_t> &error_bits) const
+{
+    std::map<std::size_t, std::vector<std::size_t>> by_word;
+    for (std::size_t bit : error_bits)
+        by_word[bit / wordBits_].push_back(bit);
+
+    std::vector<std::size_t> survivors;
+    for (auto &[word, bits] : by_word) {
+        if (bits.size() > correctable_)
+            survivors.insert(survivors.end(), bits.begin(), bits.end());
+    }
+    return survivors;
+}
+
+bool
+TErrorEcc::fullyCorrects(const std::vector<std::size_t> &error_bits) const
+{
+    return surviveErrors(error_bits).empty();
+}
+
+} // namespace rowhammer::ecc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Abstract t-error-correcting code model at configurable word granularity,
+ * used for the paper's Figure 9 ECC-strength study ("what HCfirst would a
+ * chip appear to have behind a 1-, 2-, or 3-error-correcting 64-bit
+ * code?"). We model correction capability, not a concrete BCH
+ * construction: Figure 9 only needs error *counts* per word.
+ */
+
+#ifndef ROWHAMMER_ECC_TERROR_HH
+#define ROWHAMMER_ECC_TERROR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rowhammer::ecc
+{
+
+/**
+ * Word-granular t-error-correcting code capability model.
+ *
+ * Given the bit positions of raw errors across a region, it reports which
+ * errors survive: a word with <= t errors is fully corrected; a word with
+ * more than t errors passes all of its errors through (a conservative
+ * stand-in for undefined decoder behaviour at that strength).
+ */
+class TErrorEcc
+{
+  public:
+    /**
+     * @param correctable Errors correctable per word (t >= 0; 0 = no ECC).
+     * @param word_bits Word granularity in bits (the paper uses 64).
+     */
+    TErrorEcc(std::size_t correctable, std::size_t word_bits = 64);
+
+    std::size_t correctable() const { return correctable_; }
+    std::size_t wordBits() const { return wordBits_; }
+
+    /**
+     * Filter raw error bit positions (array-wide indices); returns the
+     * positions still erroneous after per-word correction.
+     */
+    std::vector<std::size_t>
+    surviveErrors(const std::vector<std::size_t> &error_bits) const;
+
+    /** True iff no error survives, i.e. every word has <= t errors. */
+    bool fullyCorrects(const std::vector<std::size_t> &error_bits) const;
+
+  private:
+    std::size_t correctable_;
+    std::size_t wordBits_;
+};
+
+} // namespace rowhammer::ecc
+
+#endif // ROWHAMMER_ECC_TERROR_HH

@@ -1,0 +1,436 @@
+#include "chip_model.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rowhammer::fault
+{
+
+namespace
+{
+
+/** The HC value weak-cell densities are specified at (150k hammers). */
+constexpr double calibrationHc = 150000.0;
+
+/** On-die ECC word sizes (LPDDR4: 128 data + 8 parity bits). */
+constexpr long eccDataBits = 128;
+constexpr long eccCodeBits = 136;
+
+/** 64-bit-word clustering granularity for non-ECC chips. */
+constexpr long plainWordBits = 64;
+
+std::uint64_t
+mixRow(std::uint64_t seed, int bank, int row)
+{
+    std::uint64_t x = seed ^ (static_cast<std::uint64_t>(bank) << 40) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 8) ^
+        0xd1b54a32d192ed03ULL;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Per-pattern aggressor-coupling polarity factor (see file comment). */
+double
+polarityFactor(DataPattern dp)
+{
+    const int diff =
+        std::popcount(static_cast<unsigned>(victimByte(dp) ^
+                                            aggressorByte(dp)));
+    return 0.70 + 0.30 * static_cast<double>(diff) / 8.0;
+}
+
+double
+logistic(double x)
+{
+    if (x > 30.0)
+        return 1.0;
+    if (x < -30.0)
+        return 0.0;
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+ChipModel::ChipModel(ChipSpec spec, double chip_hc_first,
+                     std::uint64_t seed, ChipGeometry geometry)
+    : spec_(spec), geometry_(geometry), hcFirst_(chip_hc_first),
+      seed_(seed), onDie_(eccDataBits)
+{
+    if (hcFirst_ <= 0.0)
+        util::fatal("ChipModel: chip_hc_first must be positive");
+    if (geometry_.banks <= 0 || geometry_.rows < 16 ||
+        geometry_.rowDataBits < 256) {
+        util::fatal("ChipModel: geometry too small");
+    }
+    if (spec_.onDieEcc && geometry_.rowDataBits % eccDataBits != 0)
+        util::fatal("ChipModel: row size must be a multiple of 128 bits");
+
+    // Calibrate the threshold power-law exponent so that the expected
+    // minimum sampled threshold across the whole chip equals hcFirst_:
+    // with N cells of threshold Tcal * U^(1/k), E[min] ~ Tcal * N^(-1/k).
+    const double total_bits = static_cast<double>(geometry_.banks) *
+        geometry_.rows * static_cast<double>(geometry_.rowDataBits);
+    const double n_cells =
+        std::max(2.0, total_bits * spec_.weakDensityAt150k);
+    if (hcFirst_ < 0.93 * calibrationHc) {
+        powerLawK_ =
+            std::log(n_cells) / std::log(calibrationHc / hcFirst_);
+        powerLawK_ = std::clamp(powerLawK_, 1.5, 9.0);
+    } else {
+        powerLawK_ = 5.0;
+    }
+
+    // Deterministic location of the chip's weakest cell; see header.
+    util::Rng id_rng(seed_ ^ 0xabcdef12345ULL);
+    weakestBank_ = static_cast<int>(
+        id_rng.uniformInt(0, static_cast<std::uint64_t>(
+                                 geometry_.banks - 1)));
+    // Keep away from array edges so double-sided hammering is possible.
+    weakestRow_ = static_cast<int>(id_rng.uniformInt(
+        8, static_cast<std::uint64_t>(geometry_.rows - 9)));
+}
+
+int
+ChipModel::physRow(int row) const
+{
+    if (spec_.rowRemap == RowRemap::PairedWordline)
+        return row / 2;
+    return row;
+}
+
+long
+ChipModel::rowStoredBits() const
+{
+    if (spec_.onDieEcc)
+        return geometry_.rowDataBits / eccDataBits * eccCodeBits;
+    return geometry_.rowDataBits;
+}
+
+std::vector<int>
+ChipModel::aggressorRows(int victim_row) const
+{
+    const int step =
+        spec_.rowRemap == RowRemap::PairedWordline ? 2 : 1;
+    std::vector<int> out;
+    if (victim_row - step >= 0)
+        out.push_back(victim_row - step);
+    if (victim_row + step < geometry_.rows)
+        out.push_back(victim_row + step);
+    return out;
+}
+
+void
+ChipModel::writePattern(DataPattern dp, int victim_parity)
+{
+    pattern_ = dp;
+    victimParity_ = victim_parity & 1;
+    activations_.clear();
+    refreshBaseline_.clear();
+}
+
+void
+ChipModel::addActivations(int bank, int row, std::int64_t count)
+{
+    if (bank < 0 || bank >= geometry_.banks || row < 0 ||
+        row >= geometry_.rows) {
+        util::panic("ChipModel::addActivations: address out of range");
+    }
+    activations_[{bank, physRow(row)}] += count;
+}
+
+double
+ChipModel::rawExposure(int bank, int row) const
+{
+    const int p = physRow(row);
+    double exposure = 0.0;
+    for (int dist = 1; dist <= spec_.maxCouplingDistance; dist += 2) {
+        double coupling = 1.0;
+        if (dist == 3)
+            coupling = spec_.distance3Coupling;
+        else if (dist == 5)
+            coupling = spec_.distance5Coupling;
+        if (coupling <= 0.0)
+            continue;
+        for (int sign : {-1, +1}) {
+            const auto it = activations_.find({bank, p + sign * dist});
+            if (it != activations_.end()) {
+                exposure +=
+                    0.5 * coupling * static_cast<double>(it->second);
+            }
+        }
+    }
+    return exposure;
+}
+
+void
+ChipModel::refreshRow(int bank, int row)
+{
+    refreshBaseline_[{bank, row}] = rawExposure(bank, row);
+}
+
+double
+ChipModel::exposure(int bank, int row) const
+{
+    double e = rawExposure(bank, row);
+    const auto it = refreshBaseline_.find({bank, row});
+    if (it != refreshBaseline_.end())
+        e -= it->second;
+    return std::max(0.0, e);
+}
+
+double
+ChipModel::sampleThreshold(util::Rng &rng) const
+{
+    if (hcFirst_ >= 0.93 * calibrationHc) {
+        // Not RowHammerable below the tested range: thresholds sit above
+        // the chip's (large) hcFirst.
+        return hcFirst_ * (1.0 + 2.0 * rng.uniform());
+    }
+    double u = rng.uniform();
+    if (u <= 0.0)
+        u = 1e-12;
+    const double t = calibrationHc * std::pow(u, 1.0 / powerLawK_);
+    return std::max(t, hcFirst_);
+}
+
+ChipModel::WeakCell
+ChipModel::sampleCell(util::Rng &rng, long stored_bit,
+                      double threshold) const
+{
+    WeakCell cell;
+    cell.storedBit = stored_bit;
+    cell.threshold = static_cast<float>(threshold);
+    cell.trueCell = rng.bernoulli(spec_.trueCellFraction);
+    for (int dp = 0; dp < numDataPatterns; ++dp) {
+        if (dp == static_cast<int>(spec_.worstPattern))
+            cell.coupling[dp] = 1.0F;
+        else
+            cell.coupling[dp] =
+                static_cast<float>(0.55 + 0.4 * rng.uniform());
+    }
+    return cell;
+}
+
+const std::vector<ChipModel::WeakCell> &
+ChipModel::weakCells(int bank, int row) const
+{
+    const auto key = std::make_pair(bank, row);
+    auto it = cells_.find(key);
+    if (it != cells_.end())
+        return it->second;
+
+    util::Rng rng(mixRow(seed_, bank, row));
+    std::vector<WeakCell> cells;
+
+    const long stored_bits = rowStoredBits();
+    const long word_bits = spec_.onDieEcc ? eccCodeBits : plainWordBits;
+    const long words = stored_bits / word_bits;
+
+    // Expected weak cells in this row at the calibration hammer count.
+    const double lambda = static_cast<double>(geometry_.rowDataBits) *
+        spec_.weakDensityAt150k;
+    const double mean_cluster = std::max(1.0, spec_.meanClusterSize);
+    const auto n_clusters = rng.poisson(lambda / mean_cluster);
+
+    for (std::uint64_t c = 0; c < n_clusters; ++c) {
+        const auto size =
+            1 + rng.poisson(mean_cluster - 1.0);
+        const long word = static_cast<long>(
+            rng.uniformInt(0, static_cast<std::uint64_t>(words - 1)));
+        const double base = sampleThreshold(rng);
+        for (std::uint64_t m = 0; m < size && m < 8; ++m) {
+            const long bit_in_word = static_cast<long>(rng.uniformInt(
+                0, static_cast<std::uint64_t>(word_bits - 1)));
+            double t = base;
+            if (m > 0) {
+                t = base * (1.0 + spec_.clusterThresholdSpread *
+                                      rng.uniform());
+            }
+            cells.push_back(
+                sampleCell(rng, word * word_bits + bit_in_word, t));
+        }
+    }
+
+    // Plant the chip's ground-truth weakest cell(s). For on-die-ECC
+    // chips a lone weakest cell would be invisible (SEC corrects it), so
+    // plant a tight cluster whose second member defines observability.
+    if (bank == weakestBank_ && row == weakestRow_) {
+        std::size_t planted = 1;
+        if (spec_.onDieEcc) {
+            cells.push_back(sampleCell(rng, 4, hcFirst_));
+            cells.push_back(sampleCell(rng, 5, hcFirst_ * 1.002));
+            cells.push_back(sampleCell(rng, 6, hcFirst_ * 1.03));
+            planted = 3;
+        } else {
+            cells.push_back(sampleCell(rng, 4, hcFirst_));
+            // Companion cells in the same 64-bit word set the chip's
+            // HCsecond/HCthird, i.e. the ECC-strength multipliers of
+            // Figure 9 (jittered ~10% per chip).
+            if (spec_.eccMultiplier12 > 0.0) {
+                const double m12 = spec_.eccMultiplier12 *
+                    (0.9 + 0.2 * rng.uniform());
+                cells.push_back(
+                    sampleCell(rng, 9, hcFirst_ * m12));
+                ++planted;
+                if (spec_.eccMultiplier23 > 0.0) {
+                    const double m23 = spec_.eccMultiplier23 *
+                        (0.9 + 0.2 * rng.uniform());
+                    cells.push_back(sampleCell(
+                        rng, 14, hcFirst_ * m12 * m23));
+                    ++planted;
+                }
+            }
+        }
+        // The planted cells must respond to the worst pattern: force a
+        // charge orientation that the worst pattern's victim data makes
+        // vulnerable (through the on-die ECC encoding if present).
+        const std::uint8_t vic = victimByte(spec_.worstPattern);
+        for (std::size_t i = cells.size() - planted; i < cells.size();
+             ++i) {
+            cells[i].trueCell = storedBitValue(vic, cells[i].storedBit);
+        }
+    }
+
+    auto [pos, inserted] = cells_.emplace(key, std::move(cells));
+    (void)inserted;
+    return pos->second;
+}
+
+bool
+ChipModel::storedBitValue(std::uint8_t fill, long stored_bit) const
+{
+    if (!spec_.onDieEcc)
+        return patternBit(fill, static_cast<std::size_t>(stored_bit));
+
+    // All ECC words of a pattern-filled row are identical; cache the
+    // encoded codeword per fill byte.
+    static thread_local std::map<std::uint8_t, util::BitVec> cache;
+    auto it = cache.find(fill);
+    if (it == cache.end()) {
+        const util::BitVec data(static_cast<std::size_t>(eccDataBits),
+                                fill);
+        it = cache.emplace(fill, onDie_.store(data)).first;
+    }
+    return it->second.get(
+        static_cast<std::size_t>(stored_bit % eccCodeBits));
+}
+
+std::vector<FlipObservation>
+ChipModel::readRow(int bank, int row, util::Rng &rng) const
+{
+    std::vector<FlipObservation> out;
+    if (bank < 0 || bank >= geometry_.banks || row < 0 ||
+        row >= geometry_.rows) {
+        util::panic("ChipModel::readRow: address out of range");
+    }
+
+    // An activated row is continuously refreshed: aggressors never show
+    // RowHammer flips (Section 5.4).
+    if (activations_.count({bank, physRow(row)}))
+        return out;
+
+    const double expo = exposure(bank, row);
+    if (expo <= 0.0)
+        return out;
+
+    const std::uint8_t fill = (row & 1) == victimParity_
+                                  ? victimByte(pattern_)
+                                  : aggressorByte(pattern_);
+    const double polarity = polarityFactor(pattern_);
+    const int dp_index = static_cast<int>(pattern_);
+
+    // Raw circuit-level flips.
+    std::vector<long> raw;
+    for (const WeakCell &cell : weakCells(bank, row)) {
+        const bool stored = storedBitValue(fill, cell.storedBit);
+        if (stored != cell.trueCell)
+            continue; // Discharged state: nothing to leak.
+        const double eff = expo * polarity *
+            static_cast<double>(cell.coupling[dp_index]);
+        const double ratio = eff / static_cast<double>(cell.threshold);
+        const double p =
+            logistic((ratio - 1.0) / spec_.thresholdWidth);
+        if (rng.bernoulli(p))
+            raw.push_back(cell.storedBit);
+    }
+    if (raw.empty())
+        return out;
+
+    if (!spec_.onDieEcc) {
+        for (long bit : raw) {
+            const bool stored = storedBitValue(fill, bit);
+            out.push_back(FlipObservation{bank, row, bit, stored});
+        }
+        return out;
+    }
+
+    // On-die ECC path: decode each affected stored word and report the
+    // post-correction difference from the written data.
+    std::sort(raw.begin(), raw.end());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+        const long word = raw[i] / eccCodeBits;
+        std::vector<std::size_t> in_word;
+        while (i < raw.size() && raw[i] / eccCodeBits == word) {
+            in_word.push_back(
+                static_cast<std::size_t>(raw[i] % eccCodeBits));
+            ++i;
+        }
+        // Duplicate weak cells on the same stored bit cancel; dedupe.
+        std::sort(in_word.begin(), in_word.end());
+        in_word.erase(std::unique(in_word.begin(), in_word.end()),
+                      in_word.end());
+
+        const util::BitVec data(static_cast<std::size_t>(eccDataBits),
+                                fill);
+        const util::BitVec observed =
+            onDie_.readWithFlips(data, in_word);
+        const util::BitVec diff = observed ^ data;
+        for (std::size_t bit : diff.setBits()) {
+            out.push_back(FlipObservation{
+                bank, row,
+                word * eccDataBits + static_cast<long>(bit),
+                data.get(bit)});
+        }
+    }
+    return out;
+}
+
+std::vector<FlipObservation>
+ChipModel::hammerDoubleSided(int bank, int victim_row, std::int64_t hc,
+                             DataPattern dp, util::Rng &rng)
+{
+    writePattern(dp, victim_row & 1);
+    refreshRow(bank, victim_row);
+    for (int aggressor : aggressorRows(victim_row))
+        addActivations(bank, aggressor, hc);
+
+    std::vector<FlipObservation> out;
+    const int radius = spec_.maxCouplingDistance + 1;
+    const int pair_extra =
+        spec_.rowRemap == RowRemap::PairedWordline ? 2 * radius + 1 : 0;
+    for (int off = -(radius + pair_extra); off <= radius + pair_extra;
+         ++off) {
+        const int row = victim_row + off;
+        if (row < 0 || row >= geometry_.rows)
+            continue;
+        auto flips = readRow(bank, row, rng);
+        out.insert(out.end(), flips.begin(), flips.end());
+    }
+    return out;
+}
+
+std::size_t
+ChipModel::weakCellCount(int bank, int row) const
+{
+    return weakCells(bank, row).size();
+}
+
+} // namespace rowhammer::fault

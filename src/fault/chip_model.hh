@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Circuit-level RowHammer fault model of one DRAM chip.
+ *
+ * The model is the repository's substitute for the paper's real silicon:
+ * each chip instance deterministically samples a sparse population of
+ * "weak" cells (cells whose RowHammer threshold falls below the tested
+ * hammer-count range), each with a threshold, a charge orientation
+ * (true-/anti-cell), and per-data-pattern coupling strengths. Hammering
+ * accumulates exposure on physical wordlines; reading a row evaluates
+ * which weak cells have leaked past their threshold, with a narrow
+ * logistic probabilistic region around the threshold (Section 5.6).
+ *
+ * LPDDR4 chips route every read through an always-on on-die (136,128) SEC
+ * ECC, so the observed flips differ from the raw circuit-level flips
+ * exactly as the paper describes (Observations 9 and 14).
+ *
+ * Determinism contract: weak-cell populations depend only on (seed, bank,
+ * row), so re-testing a row reproduces the same cells; per-read flip
+ * randomness comes from the caller-supplied Rng.
+ */
+
+#ifndef ROWHAMMER_FAULT_CHIP_MODEL_HH
+#define ROWHAMMER_FAULT_CHIP_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ecc/ondie.hh"
+#include "fault/chipspec.hh"
+#include "fault/datapattern.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::fault
+{
+
+/** One observed RowHammer bit flip. */
+struct FlipObservation
+{
+    int bank = 0;
+    int row = 0;          ///< Logical row containing the flip.
+    long bitIndex = 0;    ///< Data-bit index within the row.
+    bool oneToZero = false; ///< Direction: true if a stored 1 became 0.
+
+    auto operator<=>(const FlipObservation &) const = default;
+};
+
+/** Geometry of the simulated chip's cell array. */
+struct ChipGeometry
+{
+    int banks = 8;
+    int rows = 16384;
+    long rowDataBits = 65536; ///< 8 KB row.
+};
+
+/**
+ * One simulated DRAM chip. See the file comment for the model; the
+ * public interface mirrors what the paper's FPGA platform offers the
+ * characterization code: fill with a pattern, hammer, read back flips.
+ */
+class ChipModel
+{
+  public:
+    /**
+     * @param spec Configuration-level behaviour parameters.
+     * @param chip_hc_first This chip's true minimum RowHammer threshold
+     *     in hammers (the quantity HCfirst estimates).
+     * @param seed Chip identity; determines all cell sampling.
+     * @param geometry Cell-array dimensions.
+     */
+    ChipModel(ChipSpec spec, double chip_hc_first, std::uint64_t seed,
+              ChipGeometry geometry = ChipGeometry{});
+
+    const ChipSpec &spec() const { return spec_; }
+    const ChipGeometry &geometry() const { return geometry_; }
+
+    /** The chip's ground-truth minimum threshold (test oracle). */
+    double trueHcFirst() const { return hcFirst_; }
+
+    /**
+     * Bank/row containing the chip's weakest cell. The paper scans every
+     * row of every chip; our benches scan a sample of rows plus this row
+     * so chip-level HCfirst is measured rather than sampled away.
+     */
+    int weakestRow() const { return weakestRow_; }
+    int weakestBank() const { return weakestBank_; }
+
+    /**
+     * Aggressor rows for a double-sided hammer of `victim_row`, honoring
+     * the chip's logical-to-physical remapping (Mfr B LPDDR4-1x chips
+     * require hammering victim +/- 2; all others victim +/- 1).
+     */
+    std::vector<int> aggressorRows(int victim_row) const;
+
+    /**
+     * Fill the whole array with a data pattern. Rows whose parity equals
+     * `victim_parity` receive the pattern's victim byte; other rows its
+     * aggressor byte. Clears all accumulated exposure.
+     */
+    void writePattern(DataPattern dp, int victim_parity);
+
+    /** Currently written pattern. */
+    DataPattern pattern() const { return pattern_; }
+
+    /** Record `count` activations of a logical row (accumulates). */
+    void addActivations(int bank, int row, std::int64_t count);
+
+    /** Refresh one row: restores charge, zeroing its exposure so far. */
+    void refreshRow(int bank, int row);
+
+    /** Accumulated double-sided-equivalent exposure of a row, in hammers. */
+    double exposure(int bank, int row) const;
+
+    /**
+     * Read a row and report observed RowHammer bit flips given current
+     * exposure. For on-die-ECC chips this is the post-correction view.
+     * Rows that were themselves activated since the last pattern write
+     * report no flips (activation refreshes the row).
+     */
+    std::vector<FlipObservation> readRow(int bank, int row,
+                                         util::Rng &rng) const;
+
+    /**
+     * Convenience for the common kernel: write pattern, refresh victim,
+     * hammer both aggressors `hc` times each, and read the victim row
+     * plus all rows within the coupling blast radius.
+     */
+    std::vector<FlipObservation> hammerDoubleSided(int bank, int victim_row,
+                                                   std::int64_t hc,
+                                                   DataPattern dp,
+                                                   util::Rng &rng);
+
+    /** Number of weak cells sampled in a row (test/instrumentation). */
+    std::size_t weakCellCount(int bank, int row) const;
+
+  private:
+    /** One weak cell of the simulated array. */
+    struct WeakCell
+    {
+        long storedBit; ///< Bit index in stored space (incl. ECC parity).
+        float threshold; ///< Double-sided hammers to flip, worst pattern.
+        bool trueCell;   ///< Charged state encodes logical 1.
+        std::array<float, numDataPatterns> coupling; ///< Per-DP factor.
+    };
+
+    /** Physical wordline of a logical row under the chip's remap. */
+    int physRow(int row) const;
+
+    /** Stored bits per row (data + on-die ECC parity if present). */
+    long rowStoredBits() const;
+
+    /** Lazily sample (and cache) the weak cells of one row. */
+    const std::vector<WeakCell> &weakCells(int bank, int row) const;
+
+    /** Sample one weak cell at the given stored-bit anchor. */
+    WeakCell sampleCell(util::Rng &rng, long stored_bit,
+                        double threshold) const;
+
+    /** Sample a threshold from the chip's power-law CDF. */
+    double sampleThreshold(util::Rng &rng) const;
+
+    /** Stored bit value at stored index under the current fill byte. */
+    bool storedBitValue(std::uint8_t fill, long stored_bit) const;
+
+    ChipSpec spec_;
+    ChipGeometry geometry_;
+    double hcFirst_;
+    std::uint64_t seed_;
+    int weakestBank_ = 0;
+    int weakestRow_ = 0;
+    double powerLawK_ = 4.0; ///< Threshold-CDF exponent (calibrated).
+
+    ecc::OnDieEcc onDie_;
+    DataPattern pattern_ = DataPattern::RowStripe0;
+    int victimParity_ = 0;
+
+    /** Activation counts per (bank, physical wordline). */
+    std::map<std::pair<int, int>, std::int64_t> activations_;
+    /** Exposure baselines captured by refreshRow, per (bank, log row). */
+    std::map<std::pair<int, int>, double> refreshBaseline_;
+    /** Cache of sampled weak cells per (bank, logical row). */
+    mutable std::map<std::pair<int, int>, std::vector<WeakCell>> cells_;
+
+    /** Raw (pre-baseline) exposure of a row's wordline, in hammers. */
+    double rawExposure(int bank, int row) const;
+};
+
+} // namespace rowhammer::fault
+
+#endif // ROWHAMMER_FAULT_CHIP_MODEL_HH

@@ -1,0 +1,195 @@
+#include "chipspec.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::fault
+{
+
+std::string
+toString(Manufacturer mfr)
+{
+    switch (mfr) {
+      case Manufacturer::A:
+        return "A";
+      case Manufacturer::B:
+        return "B";
+      case Manufacturer::C:
+        return "C";
+    }
+    util::panic("toString: unknown Manufacturer");
+}
+
+std::string
+toString(TypeNode tn)
+{
+    switch (tn) {
+      case TypeNode::DDR3Old:
+        return "DDR3-old";
+      case TypeNode::DDR3New:
+        return "DDR3-new";
+      case TypeNode::DDR4Old:
+        return "DDR4-old";
+      case TypeNode::DDR4New:
+        return "DDR4-new";
+      case TypeNode::LPDDR4_1x:
+        return "LPDDR4-1x";
+      case TypeNode::LPDDR4_1y:
+        return "LPDDR4-1y";
+      default:
+        util::panic("toString: unknown TypeNode");
+    }
+}
+
+dram::Standard
+standardOf(TypeNode tn)
+{
+    switch (tn) {
+      case TypeNode::DDR3Old:
+      case TypeNode::DDR3New:
+        return dram::Standard::DDR3;
+      case TypeNode::DDR4Old:
+      case TypeNode::DDR4New:
+        return dram::Standard::DDR4;
+      case TypeNode::LPDDR4_1x:
+      case TypeNode::LPDDR4_1y:
+        return dram::Standard::LPDDR4;
+      default:
+        util::panic("standardOf: unknown TypeNode");
+    }
+}
+
+std::string
+ChipSpec::label() const
+{
+    return "Mfr. " + toString(manufacturer) + " " + toString(typeNode);
+}
+
+bool
+combinationExists(TypeNode tn, Manufacturer mfr)
+{
+    // The paper could not obtain LPDDR4-1x chips from manufacturer C or
+    // LPDDR4-1y chips from manufacturer B (Section 4.2).
+    if (tn == TypeNode::LPDDR4_1x && mfr == Manufacturer::C)
+        return false;
+    if (tn == TypeNode::LPDDR4_1y && mfr == Manufacturer::B)
+        return false;
+    return true;
+}
+
+ChipSpec
+configFor(TypeNode tn, Manufacturer mfr)
+{
+    ChipSpec s;
+    s.manufacturer = mfr;
+    s.typeNode = tn;
+
+    if (!combinationExists(tn, mfr))
+        return s; // minHcFirst stays 0: no chips of this combination.
+
+    using M = Manufacturer;
+    using DP = DataPattern;
+
+    switch (tn) {
+      case TypeNode::DDR3Old:
+        // Table 4: 69.2k / 157k / 155k. Table 2: only 24/88 of Mfr A's
+        // chips flip below 150k; none of B's or C's do.
+        s.minHcFirst = (mfr == M::A) ? 69200 : (mfr == M::B ? 157000
+                                                            : 155000);
+        // Mfr A's 24 hammerable chips (24/88, Table 2) are exactly the
+        // A7-9 group (3 modules x 8 chips); B and C have none.
+        s.rowHammerableFraction = 1.0;
+        // Mfr A DDR3 chips show < 20 flips per chip even at HC = 150k.
+        s.weakDensityAt150k = (mfr == M::A) ? 4e-9 : 2e-9;
+        s.hcFirstSpread = 1.8;
+        s.worstPattern = DP::Checkered0;
+        break;
+
+      case TypeNode::DDR3New:
+        // Table 4: 85k / 22.4k / 24k. Table 2: 8/72, 44/52, 96/104.
+        s.minHcFirst = (mfr == M::A) ? 85000 : (mfr == M::B ? 22400
+                                                            : 24000);
+        // Table 2 fractions (8/72, 44/52, 96/104) over the chips of the
+        // groups whose minimum is below 150k (56, 52, and 96 chips).
+        s.rowHammerableFraction = (mfr == M::A)   ? 8.0 / 56.0
+                                  : (mfr == M::B) ? 44.0 / 52.0
+                                                  : 1.0;
+        // B/C DDR3-new chips average ~87k flips per chip at HC = 150k.
+        s.weakDensityAt150k = (mfr == M::A) ? 4e-9 : 2e-5;
+        s.hcFirstSpread = 4.0;
+        s.worstPattern = DP::Checkered0; // Table 3 (B and C; A has N/A).
+        s.meanClusterSize = 1.15;
+        s.clusterThresholdSpread = 0.35;
+        // Observation 13: triple-error correction keeps helping DDR3.
+        s.eccMultiplier12 = 1.65;
+        s.eccMultiplier23 = 2.0;
+        break;
+
+      case TypeNode::DDR4Old:
+        // Table 4: 17.5k / 30k / 87k.
+        s.minHcFirst = (mfr == M::A) ? 17500 : (mfr == M::B ? 30000
+                                                            : 87000);
+        s.weakDensityAt150k = (mfr == M::A) ? 8e-6
+                              : (mfr == M::B) ? 5e-6 : 8e-7;
+        s.hcFirstSpread = 5.0;
+        s.worstPattern = (mfr == M::C) ? DP::RowStripe0 : DP::RowStripe1;
+        s.meanClusterSize = 1.25;
+        s.clusterThresholdSpread = 1.2;
+        // Observation 12-13: SEC buys up to ~2.78x on DDR4; the gain
+        // from double- to triple-error correction diminishes.
+        s.eccMultiplier12 = 2.6;
+        s.eccMultiplier23 = 1.35;
+        break;
+
+      case TypeNode::DDR4New:
+        // Table 4: 10k / 25k / 40k.
+        s.minHcFirst = (mfr == M::A) ? 10000 : (mfr == M::B ? 25000
+                                                            : 40000);
+        s.weakDensityAt150k = (mfr == M::A) ? 3e-5
+                              : (mfr == M::B) ? 1.5e-5 : 8e-6;
+        s.hcFirstSpread = 6.0;
+        s.worstPattern = (mfr == M::C) ? DP::Checkered1 : DP::RowStripe0;
+        s.meanClusterSize = 1.25;
+        s.clusterThresholdSpread = 1.2;
+        s.eccMultiplier12 = 2.6;
+        s.eccMultiplier23 = 1.35;
+        break;
+
+      case TypeNode::LPDDR4_1x:
+        // Table 4: 43.2k (A) / 16.8k (B).
+        s.minHcFirst = (mfr == M::A) ? 43200 : 16800;
+        s.weakDensityAt150k = (mfr == M::A) ? 5e-5 : 8e-5;
+        s.hcFirstSpread = 3.0;
+        s.worstPattern =
+            (mfr == M::A) ? DP::Checkered1 : DP::Checkered0;
+        s.onDieEcc = true;
+        s.meanClusterSize = 2.4;
+        s.clusterThresholdSpread = 0.8;
+        s.thresholdWidth = 0.042;
+        s.distance3Coupling = 0.30;
+        s.maxCouplingDistance = 3;
+        if (mfr == M::B)
+            s.rowRemap = RowRemap::PairedWordline;
+        break;
+
+      case TypeNode::LPDDR4_1y:
+        // Table 4: 4.8k (A) / 9.6k (C).
+        s.minHcFirst = (mfr == M::A) ? 4800 : 9600;
+        s.weakDensityAt150k = (mfr == M::A) ? 3e-4 : 2e-4;
+        s.hcFirstSpread = 8.0;
+        s.worstPattern = DP::RowStripe1;
+        s.onDieEcc = true;
+        s.meanClusterSize = 2.6;
+        s.clusterThresholdSpread = 0.8;
+        s.thresholdWidth = 0.042;
+        s.distance3Coupling = 0.45;
+        s.distance5Coupling = 0.20;
+        s.maxCouplingDistance = 5;
+        break;
+
+      default:
+        util::panic("configFor: unknown TypeNode");
+    }
+    return s;
+}
+
+} // namespace rowhammer::fault

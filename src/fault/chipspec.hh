@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Chip-configuration metadata: DRAM type-node configurations, the three
+ * (anonymized) manufacturers, and the per-configuration circuit-behaviour
+ * parameters that drive the fault model. The parameter values encode the
+ * paper's published measurements (Tables 2-5, Figures 4-9) so that a
+ * simulated population re-derives those results.
+ */
+
+#ifndef ROWHAMMER_FAULT_CHIPSPEC_HH
+#define ROWHAMMER_FAULT_CHIPSPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dram/types.hh"
+#include "fault/datapattern.hh"
+
+namespace rowhammer::fault
+{
+
+/** The three anonymized DRAM manufacturers. */
+enum class Manufacturer
+{
+    A,
+    B,
+    C,
+};
+
+/** Printable name: "A", "B", "C". */
+std::string toString(Manufacturer mfr);
+
+/** The six DRAM type-node configurations of Table 1. */
+enum class TypeNode
+{
+    DDR3Old,
+    DDR3New,
+    DDR4Old,
+    DDR4New,
+    LPDDR4_1x,
+    LPDDR4_1y,
+    NumTypeNodes,
+};
+
+constexpr int numTypeNodes = static_cast<int>(TypeNode::NumTypeNodes);
+
+/** Printable name matching the paper, e.g. "DDR4-new", "LPDDR4-1x". */
+std::string toString(TypeNode tn);
+
+/** DRAM standard of a type-node configuration. */
+dram::Standard standardOf(TypeNode tn);
+
+/** Logical-to-physical row remapping behaviours seen in tested chips. */
+enum class RowRemap
+{
+    None,            ///< Logical row == physical wordline.
+    PairedWordline,  ///< Consecutive logical row pairs share a wordline
+                     ///< (observed in Mfr B LPDDR4-1x chips, Section 4.3).
+};
+
+/**
+ * Circuit-behaviour parameters of one (manufacturer, type-node) chip
+ * configuration. One ChipSpec describes the *distribution* chips are
+ * drawn from; each ChipModel instance samples its own cells from it.
+ */
+struct ChipSpec
+{
+    Manufacturer manufacturer = Manufacturer::A;
+    TypeNode typeNode = TypeNode::DDR4New;
+
+    /**
+     * Minimum HCfirst across all chips of this configuration, in hammers
+     * (Table 4; 0 means no configuration-level data and chips default to
+     * not RowHammerable below 150k).
+     */
+    double minHcFirst = 0.0;
+
+    /**
+     * Multiplicative spread of per-chip HCfirst above the configuration
+     * minimum (Figure 8 box heights): a chip's HCfirst is sampled in
+     * [minHcFirst, minHcFirst * hcFirstSpread].
+     */
+    double hcFirstSpread = 4.0;
+
+    /**
+     * Fraction of chips *within a module group whose minimum HCfirst is
+     * below 150k* that are themselves RowHammerable. Table 2's
+     * config-level fractions emerge from this: e.g. Mfr A DDR3-old has
+     * 24/88 RowHammerable chips and exactly 24 chips in its one
+     * hammerable group (A7-9), so the within-group fraction is 1.0.
+     */
+    double rowHammerableFraction = 1.0;
+
+    /**
+     * Expected RowHammer bit flips per data bit at HC = 150k with the
+     * worst-case pattern (sets the vertical position of the Figure 5
+     * curve). Mfr A DDR3 chips are distinctively low (< 20 flips/chip).
+     */
+    double weakDensityAt150k = 1e-5;
+
+    /**
+     * Coupling strength to a row at wordline distance 3 (distance 1 is
+     * normalized to 1.0; even distances do not flip per Observation in
+     * Section 5.4).
+     */
+    double distance3Coupling = 0.0;
+
+    /** Coupling strength at wordline distance 5 (LPDDR4-1y only). */
+    double distance5Coupling = 0.0;
+
+    /** Largest wordline distance with any coupling (1, 3, or 5). */
+    int maxCouplingDistance = 1;
+
+    /** Chip-wide worst-case data pattern (Table 3). */
+    DataPattern worstPattern = DataPattern::RowStripe0;
+
+    /** Whether the chip has always-on on-die ECC (all LPDDR4 chips). */
+    bool onDieEcc = false;
+
+    /**
+     * Mean raw-bit-flip cluster size. On-die-ECC chips exhibit spatially
+     * clustered weak cells so multi-bit ECC words are common (Figure 7);
+     * non-ECC chips are dominated by isolated weak cells.
+     */
+    double meanClusterSize = 1.0;
+
+    /**
+     * Relative spread of thresholds within a weak-cell cluster: member
+     * thresholds are base * (1 + U[0, spread]).
+     */
+    double clusterThresholdSpread = 0.5;
+
+    /**
+     * Hammer-count multiplier from the chip's HCfirst to the first
+     * 64-bit word with two flips (Figure 9's x(1->2); i.e. the HCfirst
+     * improvement a SEC 64-bit ECC buys). Zero = the chip's weakest
+     * word never reaches two flips below 200k hammers.
+     */
+    double eccMultiplier12 = 0.0;
+
+    /** Multiplier from two- to three-flip words (Figure 9's x(2->3)). */
+    double eccMultiplier23 = 0.0;
+
+    /** Logical-to-physical row remapping of this configuration. */
+    RowRemap rowRemap = RowRemap::None;
+
+    /** Fraction of cells whose charged state encodes logical '1'. */
+    double trueCellFraction = 0.5;
+
+    /**
+     * Relative width of the probabilistic flip region around a cell's
+     * threshold (logistic scale as a fraction of the threshold).
+     * DDR3/DDR4 cells transition sharply (Table 5: > 97% of cells have
+     * monotonically increasing flip probability at a 5k-hammer sweep
+     * granularity); LPDDR4 cells sit behind on-die ECC whose aliasing
+     * amplifies threshold noise into the ~50% monotonicity the paper
+     * measures.
+     */
+    double thresholdWidth = 0.008;
+
+    dram::Standard standard() const { return standardOf(typeNode); }
+
+    /** "Mfr. X TYPE-node" label used in tables. */
+    std::string label() const;
+};
+
+/**
+ * The calibrated ChipSpec for a (type-node, manufacturer) pair. Returns a
+ * spec with minHcFirst == 0 for the combinations the paper has no chips
+ * for (LPDDR4-1x Mfr C, LPDDR4-1y Mfr B).
+ */
+ChipSpec configFor(TypeNode tn, Manufacturer mfr);
+
+/** True iff the paper has chips for this combination. */
+bool combinationExists(TypeNode tn, Manufacturer mfr);
+
+} // namespace rowhammer::fault
+
+#endif // ROWHAMMER_FAULT_CHIPSPEC_HH

@@ -1,0 +1,100 @@
+#include "datapattern.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::fault
+{
+
+std::array<DataPattern, numDataPatterns>
+allDataPatterns()
+{
+    return {DataPattern::Solid0,     DataPattern::Solid1,
+            DataPattern::ColStripe0, DataPattern::ColStripe1,
+            DataPattern::Checkered0, DataPattern::Checkered1,
+            DataPattern::RowStripe0, DataPattern::RowStripe1};
+}
+
+std::array<DataPattern, 6>
+figure4Patterns()
+{
+    return {DataPattern::RowStripe0, DataPattern::RowStripe1,
+            DataPattern::ColStripe0, DataPattern::ColStripe1,
+            DataPattern::Checkered0, DataPattern::Checkered1};
+}
+
+std::uint8_t
+victimByte(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::Solid0:
+        return 0x00;
+      case DataPattern::Solid1:
+        return 0xFF;
+      case DataPattern::ColStripe0:
+        return 0x55;
+      case DataPattern::ColStripe1:
+        return 0xAA;
+      case DataPattern::Checkered0:
+        return 0x55;
+      case DataPattern::Checkered1:
+        return 0xAA;
+      case DataPattern::RowStripe0:
+        return 0x00;
+      case DataPattern::RowStripe1:
+        return 0xFF;
+      default:
+        util::panic("victimByte: unknown pattern");
+    }
+}
+
+std::uint8_t
+aggressorByte(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::Solid0:
+        return 0x00;
+      case DataPattern::Solid1:
+        return 0xFF;
+      case DataPattern::ColStripe0:
+        return 0x55;
+      case DataPattern::ColStripe1:
+        return 0xAA;
+      case DataPattern::Checkered0:
+        return 0xAA;
+      case DataPattern::Checkered1:
+        return 0x55;
+      case DataPattern::RowStripe0:
+        return 0xFF;
+      case DataPattern::RowStripe1:
+        return 0x00;
+      default:
+        util::panic("aggressorByte: unknown pattern");
+    }
+}
+
+std::string
+toString(DataPattern dp)
+{
+    switch (dp) {
+      case DataPattern::Solid0:
+        return "SO0";
+      case DataPattern::Solid1:
+        return "SO1";
+      case DataPattern::ColStripe0:
+        return "CS0";
+      case DataPattern::ColStripe1:
+        return "CS1";
+      case DataPattern::Checkered0:
+        return "CH0";
+      case DataPattern::Checkered1:
+        return "CH1";
+      case DataPattern::RowStripe0:
+        return "RS0";
+      case DataPattern::RowStripe1:
+        return "RS1";
+      default:
+        util::panic("toString: unknown pattern");
+    }
+}
+
+} // namespace rowhammer::fault

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mechanism factory: construct any of the paper's six evaluated
+ * mitigation mechanisms by kind, parameterized by the target HCfirst.
+ */
+
+#ifndef ROWHAMMER_MITIGATION_FACTORY_HH
+#define ROWHAMMER_MITIGATION_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+#include "mitigation/mitigation.hh"
+
+namespace rowhammer::mitigation
+{
+
+/** The mechanisms of Section 6 (plus the no-op baseline). */
+enum class Kind
+{
+    None,
+    IncreasedRefresh,
+    PARA,
+    ProHIT,
+    MRLoc,
+    TWiCe,
+    TWiCeIdeal,
+    Ideal,
+};
+
+/** All kinds the paper's Figure 10 sweeps (excludes None). */
+std::vector<Kind> allKinds();
+
+/** Printable name, e.g. "PARA". */
+std::string toString(Kind kind);
+
+/**
+ * Construct a mechanism configured for a chip with the given HCfirst.
+ *
+ * @param kind Which mechanism.
+ * @param hc_first Chip vulnerability the mechanism must protect.
+ * @param timing Timing of the protected device.
+ * @param rows_per_bank Geometry for the ideal oracle's bookkeeping.
+ * @param seed Seed for the probabilistic mechanisms.
+ */
+std::unique_ptr<Mitigation> makeMitigation(Kind kind, double hc_first,
+                                           const dram::TimingSpec &timing,
+                                           int rows_per_bank,
+                                           std::uint64_t seed);
+
+/**
+ * True iff the paper evaluates this mechanism at this HCfirst: ProHIT
+ * and MRLoc have published parameters only for HCfirst = 2000, TWiCe
+ * (non-ideal) does not support HCfirst < 32k, and the increased refresh
+ * rate becomes infeasible at low HCfirst.
+ */
+bool evaluatedAt(Kind kind, double hc_first,
+                 const dram::TimingSpec &timing);
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_FACTORY_HH

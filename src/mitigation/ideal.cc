@@ -1,0 +1,61 @@
+#include "ideal.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::mitigation
+{
+
+IdealRefresh::IdealRefresh(double hc_first, int rows_per_bank)
+    : hcFirst_(hc_first), rowsPerBank_(rows_per_bank)
+{
+    if (hc_first <= 1.0)
+        util::fatal("IdealRefresh: HCfirst must exceed one hammer");
+    if (rows_per_bank <= 0)
+        util::fatal("IdealRefresh: rows_per_bank must be positive");
+}
+
+void
+IdealRefresh::trackVictim(int flat_bank, int row,
+                          std::vector<VictimRef> &out)
+{
+    if (row < 0 || row >= rowsPerBank_)
+        return;
+    std::uint32_t &count = counts_[key(flat_bank, row)];
+    ++count;
+    // Refresh just before the count reaches the failure threshold.
+    if (static_cast<double>(count) >= hcFirst_ - 1.0) {
+        out.push_back(VictimRef{flat_bank, row});
+        counts_.erase(key(flat_bank, row));
+    }
+}
+
+void
+IdealRefresh::onActivate(int flat_bank, int row, dram::Cycle now,
+                         std::vector<VictimRef> &out)
+{
+    (void)now;
+    trackVictim(flat_bank, row - 1, out);
+    trackVictim(flat_bank, row + 1, out);
+}
+
+void
+IdealRefresh::onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                        std::vector<VictimRef> &out)
+{
+    (void)ref_index;
+    (void)out;
+    // The auto-refresh rotation restores rows_per_ref rows in every
+    // bank; their exposure counters restart.
+    for (int i = 0; i < rows_per_ref; ++i) {
+        const int row = rotation_;
+        rotation_ = (rotation_ + 1) % rowsPerBank_;
+        for (auto it = counts_.begin(); it != counts_.end();) {
+            if (static_cast<int>(it->first & 0xffffffffU) == row)
+                it = counts_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+} // namespace rowhammer::mitigation

@@ -1,0 +1,31 @@
+#include "increfresh.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::mitigation
+{
+
+IncreasedRefreshRate::IncreasedRefreshRate(double hc_first,
+                                           const dram::TimingSpec &timing)
+{
+    if (hc_first <= 0.0)
+        util::fatal("IncreasedRefreshRate: HCfirst must be positive");
+
+    // tREFW' = HCfirst * tRC bounds the activations any single row can
+    // receive between its refreshes.
+    const double scaled_window_cycles =
+        hc_first * static_cast<double>(timing.tRC);
+    multiplier_ = std::max(
+        1.0, static_cast<double>(timing.refreshWindowCycles()) /
+                 scaled_window_cycles);
+    const double scaled_refi =
+        static_cast<double>(timing.tREFI) / multiplier_;
+    duty_ = static_cast<double>(timing.tRFC) / scaled_refi;
+    // Leave headroom for demand traffic: beyond ~100% refresh duty the
+    // device spends all time refreshing.
+    feasible_ = duty_ < 1.0;
+}
+
+} // namespace rowhammer::mitigation

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Increased refresh rate mitigation (Kim et al., ISCA 2014; Section 6.1).
+ * Scales the auto-refresh rate so a row cannot receive HCfirst
+ * activations within one refresh window: tREFW' = HCfirst x tRC.
+ */
+
+#ifndef ROWHAMMER_MITIGATION_INCREFRESH_HH
+#define ROWHAMMER_MITIGATION_INCREFRESH_HH
+
+#include "dram/timing.hh"
+#include "mitigation/mitigation.hh"
+
+namespace rowhammer::mitigation
+{
+
+/**
+ * Refresh-rate scaling. The mechanism is infeasible when the scaled
+ * refresh interval cannot even contain one tRFC (all DRAM time would be
+ * refresh); the paper notes it "inherently does not scale" to low
+ * HCfirst values.
+ */
+class IncreasedRefreshRate : public Mitigation
+{
+  public:
+    IncreasedRefreshRate(double hc_first, const dram::TimingSpec &timing);
+
+    std::string name() const override { return "IncRefresh"; }
+
+    void
+    onActivate(int, int, dram::Cycle, std::vector<VictimRef> &) override
+    {
+    }
+
+    double refreshRateMultiplier() const override { return multiplier_; }
+
+    bool feasible() const override { return feasible_; }
+
+    /** Fraction of device time consumed by refresh at the scaled rate. */
+    double refreshDutyCycle() const { return duty_; }
+
+  private:
+    double multiplier_ = 1.0;
+    double duty_ = 0.0;
+    bool feasible_ = true;
+};
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_INCREFRESH_HH

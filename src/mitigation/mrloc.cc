@@ -1,0 +1,63 @@
+#include "mrloc.hh"
+
+#include <cmath>
+
+namespace rowhammer::mitigation
+{
+
+MrLoc::MrLoc(std::uint64_t seed) : MrLoc(seed, Params{}) {}
+
+MrLoc::MrLoc(std::uint64_t seed, Params params)
+    : params_(params), rng_(seed)
+{
+}
+
+double
+MrLoc::probabilityForGap(double gap) const
+{
+    // Recent re-insertions (small gaps) imply an ongoing hammer burst.
+    const double boost = std::exp(-gap / params_.recencyDecay);
+    return params_.baseProbability +
+        (params_.maxProbability - params_.baseProbability) * boost;
+}
+
+void
+MrLoc::trackVictim(int flat_bank, int row, std::vector<VictimRef> &out)
+{
+    const Key k = key(flat_bank, row);
+    ++insertSeq_;
+
+    double probability = params_.baseProbability;
+    const auto it = lastInsert_.find(k);
+    if (it != lastInsert_.end()) {
+        probability = probabilityForGap(
+            static_cast<double>(insertSeq_ - it->second));
+    }
+    lastInsert_[k] = insertSeq_;
+    queue_.push_back(k);
+    if (queue_.size() > params_.queueSize) {
+        const Key old = queue_.front();
+        queue_.pop_front();
+        // Drop the recency record once the victim leaves the queue and
+        // has not been re-inserted since.
+        const auto old_it = lastInsert_.find(old);
+        if (old_it != lastInsert_.end() &&
+            old_it->second + params_.queueSize <= insertSeq_) {
+            lastInsert_.erase(old_it);
+        }
+    }
+
+    if (rng_.bernoulli(probability))
+        out.push_back(VictimRef{flat_bank, row});
+}
+
+void
+MrLoc::onActivate(int flat_bank, int row, dram::Cycle now,
+                  std::vector<VictimRef> &out)
+{
+    (void)now;
+    trackVictim(flat_bank, row - 1, out);
+    trackVictim(flat_bank, row + 1, out);
+}
+
+} // namespace rowhammer::mitigation

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MRLoc (You & Lee, DAC 2019): memory-locality-aware probabilistic row
+ * refresh. Victim addresses enter a small queue on every activation; a
+ * victim that re-enters the queue soon after its previous insertion is
+ * refreshed with a higher probability, exploiting the temporal locality
+ * of RowHammer attacks.
+ *
+ * Like ProHIT, MRLoc's parameters are tuned for HCfirst = 2000 with no
+ * published scaling model (Section 6.1), so it is evaluated only there.
+ */
+
+#ifndef ROWHAMMER_MITIGATION_MRLOC_HH
+#define ROWHAMMER_MITIGATION_MRLOC_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mitigation/mitigation.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::mitigation
+{
+
+/** MRLoc queue-based probabilistic refresher. */
+class MrLoc : public Mitigation
+{
+  public:
+    struct Params
+    {
+        std::size_t queueSize = 64;
+        /** Baseline refresh probability for first-seen victims. */
+        double baseProbability = 0.0005;
+        /** Peak probability for immediately re-hammered victims. */
+        double maxProbability = 0.05;
+        /** Decay constant (in victim insertions) of the recency boost. */
+        double recencyDecay = 48.0;
+    };
+
+    explicit MrLoc(std::uint64_t seed);
+    MrLoc(std::uint64_t seed, Params params);
+
+    std::string name() const override { return "MRLoc"; }
+
+    void onActivate(int flat_bank, int row, dram::Cycle now,
+                    std::vector<VictimRef> &out) override;
+
+    /** Probability for a re-insertion `gap` insertions after the last. */
+    double probabilityForGap(double gap) const;
+
+  private:
+    using Key = std::uint64_t;
+
+    static Key key(int flat_bank, int row)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(flat_bank))
+                << 32) |
+            static_cast<std::uint32_t>(row);
+    }
+
+    void trackVictim(int flat_bank, int row,
+                     std::vector<VictimRef> &out);
+
+    Params params_;
+    util::Rng rng_;
+    std::uint64_t insertSeq_ = 0;
+    std::deque<Key> queue_;
+    /** Last insertion sequence number per queued victim. */
+    std::unordered_map<Key, std::uint64_t> lastInsert_;
+};
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_MRLOC_HH

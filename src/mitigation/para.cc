@@ -1,0 +1,50 @@
+#include "para.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rowhammer::mitigation
+{
+
+double
+Para::solveProbability(double hc_first, const dram::TimingSpec &timing,
+                       double target_ber)
+{
+    if (hc_first <= 1.0)
+        util::fatal("Para: HCfirst must exceed one hammer");
+
+    // A victim fails if neither of its PARA coins fires across HCfirst
+    // aggressor activations: P_fail = (1 - p)^HCfirst per attack window.
+    // An attacker sustains one activation per tRC; one hour contains
+    // 3600 / (tRC * HCfirst) independent attack windows. Solve
+    //   windows * (1 - p)^HCfirst <= target_ber.
+    const double trc_seconds = timing.toNs(timing.tRC) * 1e-9;
+    const double windows_per_hour =
+        3600.0 / (trc_seconds * hc_first);
+    const double log_fail = std::log(target_ber / windows_per_hour);
+    const double p = 1.0 - std::exp(log_fail / hc_first);
+    return std::clamp(p, 0.0, 1.0);
+}
+
+Para::Para(double hc_first, const dram::TimingSpec &timing,
+           std::uint64_t seed, double target_ber)
+    : probability_(solveProbability(hc_first, timing, target_ber)),
+      rng_(seed)
+{
+}
+
+void
+Para::onActivate(int flat_bank, int row, dram::Cycle now,
+                 std::vector<VictimRef> &out)
+{
+    (void)now;
+    // Flip one coin per adjacent row, as in the original proposal.
+    if (rng_.bernoulli(probability_))
+        out.push_back(VictimRef{flat_bank, row - 1});
+    if (rng_.bernoulli(probability_))
+        out.push_back(VictimRef{flat_bank, row + 1});
+}
+
+} // namespace rowhammer::mitigation

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+ * On every activation, refresh each neighbor with a small probability p,
+ * chosen per HCfirst so that the bit error rate stays below a target
+ * (the paper uses BER <= 1e-15 per hour of continuous hammering).
+ */
+
+#ifndef ROWHAMMER_MITIGATION_PARA_HH
+#define ROWHAMMER_MITIGATION_PARA_HH
+
+#include "dram/timing.hh"
+#include "mitigation/mitigation.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::mitigation
+{
+
+/** PARA with analytically scaled refresh probability. */
+class Para : public Mitigation
+{
+  public:
+    /**
+     * @param hc_first Chip vulnerability (hammers to first flip).
+     * @param timing Used for the activation rate in the BER bound.
+     * @param seed Seed of the mechanism's private coin.
+     * @param target_ber Failure budget per hour of continuous hammering.
+     */
+    Para(double hc_first, const dram::TimingSpec &timing,
+         std::uint64_t seed, double target_ber = 1e-15);
+
+    std::string name() const override { return "PARA"; }
+
+    void onActivate(int flat_bank, int row, dram::Cycle now,
+                    std::vector<VictimRef> &out) override;
+
+    /** The refresh probability PARA solved for. */
+    double probability() const { return probability_; }
+
+    /**
+     * Compute the per-neighbor refresh probability for a vulnerability
+     * level (exposed for tests and the scaling bench).
+     */
+    static double solveProbability(double hc_first,
+                                   const dram::TimingSpec &timing,
+                                   double target_ber);
+
+  private:
+    double probability_;
+    util::Rng rng_;
+};
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_PARA_HH

@@ -1,0 +1,65 @@
+#include "profile_guided.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::mitigation
+{
+
+ProfileGuidedRefresh::ProfileGuidedRefresh(
+    std::vector<RowProfileEntry> profile, int rows_per_bank)
+    : rowsPerBank_(rows_per_bank)
+{
+    if (rows_per_bank <= 0)
+        util::fatal("ProfileGuidedRefresh: rows_per_bank must be "
+                    "positive");
+    for (const RowProfileEntry &entry : profile) {
+        if (entry.hcFirst <= 1.0)
+            util::fatal("ProfileGuidedRefresh: profiled HCfirst must "
+                        "exceed one hammer");
+        thresholds_[key(entry.flatBank, entry.row)] = entry.hcFirst;
+    }
+}
+
+void
+ProfileGuidedRefresh::onActivate(int flat_bank, int row, dram::Cycle now,
+                                 std::vector<VictimRef> &out)
+{
+    (void)now;
+    for (int victim : {row - 1, row + 1}) {
+        if (victim < 0 || victim >= rowsPerBank_)
+            continue;
+        const auto threshold_it =
+            thresholds_.find(key(flat_bank, victim));
+        if (threshold_it == thresholds_.end())
+            continue; // Not profiled as vulnerable: no bookkeeping.
+        std::uint32_t &count = counts_[key(flat_bank, victim)];
+        ++count;
+        if (static_cast<double>(count) >=
+            threshold_it->second - 1.0) {
+            out.push_back(VictimRef{flat_bank, victim});
+            counts_.erase(key(flat_bank, victim));
+        }
+    }
+}
+
+void
+ProfileGuidedRefresh::onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                                std::vector<VictimRef> &out)
+{
+    (void)ref_index;
+    (void)out;
+    // The auto-refresh rotation restores rows_per_ref rows per bank;
+    // their exposure counters restart.
+    for (int i = 0; i < rows_per_ref; ++i) {
+        const int row = rotation_;
+        rotation_ = (rotation_ + 1) % rowsPerBank_;
+        for (auto it = counts_.begin(); it != counts_.end();) {
+            if (static_cast<int>(it->first & 0xffffffffU) == row)
+                it = counts_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+} // namespace rowhammer::mitigation

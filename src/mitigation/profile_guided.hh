@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Profile-guided RowHammer mitigation (the paper's Section 6.3.1 future
+ * direction): if the locations of RowHammer-vulnerable rows are known
+ * from profiling, mitigation effort can be spent only on them.
+ *
+ * This mechanism holds a profile of vulnerable rows (each with its
+ * measured per-row HCfirst) and maintains exact activation counters for
+ * *profiled rows only*, refreshing a profiled victim just before its
+ * own threshold — i.e. the ideal oracle restricted to rows that can
+ * actually fail. Unprofiled rows are assumed robust up to the chip's
+ * tested maximum. Hardware cost scales with the number of weak rows
+ * instead of all rows, which is the paper's core argument for
+ * profile-guided mechanisms.
+ */
+
+#ifndef ROWHAMMER_MITIGATION_PROFILE_GUIDED_HH
+#define ROWHAMMER_MITIGATION_PROFILE_GUIDED_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mitigation/mitigation.hh"
+
+namespace rowhammer::mitigation
+{
+
+/** A profiled vulnerable row. */
+struct RowProfileEntry
+{
+    int flatBank = 0;
+    int row = 0;
+    double hcFirst = 0.0; ///< This row's own failure threshold.
+};
+
+/** Profile-guided selective-refresh mechanism. */
+class ProfileGuidedRefresh : public Mitigation
+{
+  public:
+    /**
+     * @param profile Vulnerable rows found by offline profiling.
+     * @param rows_per_bank Geometry for refresh-rotation bookkeeping.
+     */
+    ProfileGuidedRefresh(std::vector<RowProfileEntry> profile,
+                         int rows_per_bank);
+
+    std::string name() const override { return "ProfileGuided"; }
+
+    void onActivate(int flat_bank, int row, dram::Cycle now,
+                    std::vector<VictimRef> &out) override;
+
+    void onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                   std::vector<VictimRef> &out) override;
+
+    /** Profiled rows (the mechanism's storage cost driver). */
+    std::size_t profiledRows() const { return thresholds_.size(); }
+
+  private:
+    using Key = std::uint64_t;
+
+    static Key key(int flat_bank, int row)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(flat_bank))
+                << 32) |
+            static_cast<std::uint32_t>(row);
+    }
+
+    int rowsPerBank_;
+    int rotation_ = 0;
+    /** Per profiled row: its own HCfirst. */
+    std::unordered_map<Key, double> thresholds_;
+    /** Activation counters, kept only for profiled rows. */
+    std::unordered_map<Key, std::uint32_t> counts_;
+};
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_PROFILE_GUIDED_HH

@@ -1,0 +1,96 @@
+#include "prohit.hh"
+
+#include <algorithm>
+
+namespace rowhammer::mitigation
+{
+
+ProHit::ProHit(std::uint64_t seed) : ProHit(seed, Params{}) {}
+
+ProHit::ProHit(std::uint64_t seed, Params params)
+    : params_(params), rng_(seed)
+{
+}
+
+int
+ProHit::find(const std::vector<Entry> &table, int flat_bank, int row)
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].flatBank == flat_bank && table[i].row == row)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+ProHit::trackVictim(int flat_bank, int row)
+{
+    // Already hot: upgrade one priority position.
+    const int hot_idx = find(hot_, flat_bank, row);
+    if (hot_idx >= 0) {
+        if (hot_idx > 0) {
+            std::swap(hot_[static_cast<std::size_t>(hot_idx)],
+                      hot_[static_cast<std::size_t>(hot_idx - 1)]);
+        }
+        return;
+    }
+
+    // In the cold table: promote into the hot table, biased towards the
+    // top entry (probability (1-p_t) + p_t/n for the top position).
+    const int cold_idx = find(cold_, flat_bank, row);
+    if (cold_idx >= 0) {
+        cold_.erase(cold_.begin() + cold_idx);
+        std::size_t position = 0;
+        if (!hot_.empty() && !rng_.bernoulli(1.0 - params_.promoteTopBias)) {
+            position = rng_.uniformInt(0, hot_.size());
+        }
+        hot_.insert(hot_.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(position, hot_.size())),
+                    Entry{flat_bank, row});
+        if (static_cast<int>(hot_.size()) > params_.hotEntries) {
+            // Demote the lowest-priority hot entry back to cold space.
+            cold_.insert(cold_.begin(), hot_.back());
+            hot_.pop_back();
+        }
+        return;
+    }
+
+    // Not tracked: probabilistic insertion into the cold table.
+    if (!rng_.bernoulli(params_.insertProbability))
+        return;
+    if (static_cast<int>(cold_.size()) >= params_.coldEntries &&
+        !cold_.empty()) {
+        // Evict, biased towards the least recently inserted entry:
+        // probability (1-p_e) + p_e/n for the tail, p_e/n for others.
+        std::size_t victim = cold_.size() - 1;
+        if (rng_.bernoulli(params_.evictTailBias))
+            victim = rng_.uniformInt(0, cold_.size() - 1);
+        cold_.erase(cold_.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    cold_.insert(cold_.begin(), Entry{flat_bank, row});
+}
+
+void
+ProHit::onActivate(int flat_bank, int row, dram::Cycle now,
+                   std::vector<VictimRef> &out)
+{
+    (void)now;
+    (void)out;
+    trackVictim(flat_bank, row - 1);
+    trackVictim(flat_bank, row + 1);
+}
+
+void
+ProHit::onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                  std::vector<VictimRef> &out)
+{
+    (void)ref_index;
+    (void)rows_per_ref;
+    // Refresh the hottest tracked victim and retire its entry.
+    if (hot_.empty())
+        return;
+    out.push_back(VictimRef{hot_.front().flatBank, hot_.front().row});
+    hot_.erase(hot_.begin());
+}
+
+} // namespace rowhammer::mitigation

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ProHIT (Son et al., DAC 2017): probabilistic management of a pair of
+ * Hot/Cold victim tables. On each activation the adjacent (victim) rows
+ * are probabilistically inserted into the cold table, promoted to the
+ * hot table on re-reference, and the top hot entry is refreshed on each
+ * auto-refresh command.
+ *
+ * As the paper notes (Section 6.1), ProHIT's published parameters target
+ * HCfirst = 2000 and there is no model for scaling them, so the
+ * mechanism is evaluated at that single point.
+ */
+
+#ifndef ROWHAMMER_MITIGATION_PROHIT_HH
+#define ROWHAMMER_MITIGATION_PROHIT_HH
+
+#include <vector>
+
+#include "mitigation/mitigation.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::mitigation
+{
+
+/** ProHIT tables and probabilities (defaults per the DAC'17 design). */
+class ProHit : public Mitigation
+{
+  public:
+    struct Params
+    {
+        int hotEntries = 4;
+        int coldEntries = 4;
+        double insertProbability = 0.05; ///< p_i: insertion into cold.
+        double evictTailBias = 0.75;     ///< p_e: bias to evict the LRU.
+        double promoteTopBias = 0.75;    ///< p_t: bias to promote to top.
+    };
+
+    explicit ProHit(std::uint64_t seed);
+    ProHit(std::uint64_t seed, Params params);
+
+    std::string name() const override { return "ProHIT"; }
+
+    void onActivate(int flat_bank, int row, dram::Cycle now,
+                    std::vector<VictimRef> &out) override;
+
+    void onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                   std::vector<VictimRef> &out) override;
+
+    /** Tables' current fill (tests). */
+    std::size_t hotSize() const { return hot_.size(); }
+    std::size_t coldSize() const { return cold_.size(); }
+
+  private:
+    struct Entry
+    {
+        int flatBank;
+        int row;
+    };
+
+    /** Index of (bank,row) in a table, or -1. */
+    static int find(const std::vector<Entry> &table, int flat_bank,
+                    int row);
+
+    void trackVictim(int flat_bank, int row);
+
+    Params params_;
+    util::Rng rng_;
+    /** Highest priority at index 0. */
+    std::vector<Entry> hot_;
+    /** Most recently inserted at index 0. */
+    std::vector<Entry> cold_;
+};
+
+} // namespace rowhammer::mitigation
+
+#endif // ROWHAMMER_MITIGATION_PROHIT_HH

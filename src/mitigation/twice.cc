@@ -1,0 +1,73 @@
+#include "twice.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::mitigation
+{
+
+TWiCe::TWiCe(double hc_first, const dram::TimingSpec &timing, bool ideal)
+    : tRh_(hc_first / 4.0), ideal_(ideal)
+{
+    if (hc_first <= 0.0)
+        util::fatal("TWiCe: HCfirst must be positive");
+
+    const double refreshes_per_window =
+        static_cast<double>(timing.refreshesPerWindow());
+    // Pruning threshold: entries hammered slower than tRH per refresh
+    // window can never reach the threshold before their victim row's
+    // regular refresh; prune anything below this per-interval rate.
+    pruneRatePerInterval_ = tRh_ / refreshes_per_window;
+
+    // Design constraint (Section 6.1): with tRH below the number of
+    // refresh intervals per window the pruning threshold drops under one
+    // activation per interval, requiring floating-point pruning math and
+    // an unbounded table.
+    feasible_ = ideal_ || tRh_ >= refreshes_per_window;
+}
+
+void
+TWiCe::trackVictim(int flat_bank, int row, std::vector<VictimRef> &out)
+{
+    Entry &entry = table_[key(flat_bank, row)];
+    ++entry.actCount;
+    peakTableSize_ = std::max(peakTableSize_, table_.size());
+    if (static_cast<double>(entry.actCount) >= tRh_) {
+        out.push_back(VictimRef{flat_bank, row});
+        table_.erase(key(flat_bank, row));
+    }
+}
+
+void
+TWiCe::onActivate(int flat_bank, int row, dram::Cycle now,
+                  std::vector<VictimRef> &out)
+{
+    (void)now;
+    trackVictim(flat_bank, row - 1, out);
+    trackVictim(flat_bank, row + 1, out);
+}
+
+void
+TWiCe::onRefresh(std::uint64_t ref_index, int rows_per_ref,
+                 std::vector<VictimRef> &out)
+{
+    (void)ref_index;
+    (void)rows_per_ref;
+    (void)out;
+    // Pruning stage, performed under cover of the refresh command:
+    // age every entry and drop those whose hammer rate cannot reach the
+    // threshold within the refresh window.
+    for (auto it = table_.begin(); it != table_.end();) {
+        Entry &entry = it->second;
+        ++entry.lifetime;
+        const double rate = static_cast<double>(entry.actCount) /
+            static_cast<double>(entry.lifetime);
+        if (rate < pruneRatePerInterval_)
+            it = table_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace rowhammer::mitigation

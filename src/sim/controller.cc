@@ -1,0 +1,422 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::sim
+{
+
+namespace
+{
+
+struct CompletionLater
+{
+    bool
+    operator()(const std::pair<dram::Cycle, std::function<void()>> &a,
+               const std::pair<dram::Cycle, std::function<void()>> &b) const
+    {
+        return a.first > b.first;
+    }
+};
+
+} // namespace
+
+Controller::Controller(dram::Organization org, dram::TimingSpec timing)
+    : Controller(org, timing, Config{})
+{
+}
+
+Controller::Controller(dram::Organization org, dram::TimingSpec timing,
+                       Config config)
+    : org_(org), device_(org, timing), mapper_(org), config_(config)
+{
+    if (config_.writeLowWatermark >= config_.writeHighWatermark ||
+        config_.writeHighWatermark > config_.writeQueueSize) {
+        util::fatal("Controller: inconsistent write watermarks");
+    }
+    nextRefreshAt_ = timing.tREFI;
+    bankLastUse_.assign(static_cast<std::size_t>(org_.totalBanks()), 0);
+}
+
+void
+Controller::setMitigation(mitigation::Mitigation *mechanism)
+{
+    mitigation_ = mechanism;
+}
+
+int
+Controller::readQueueSpace() const
+{
+    return config_.readQueueSize - static_cast<int>(readQueue_.size());
+}
+
+bool
+Controller::enqueue(Request request)
+{
+    request.decoded = mapper_.decode(request.addr);
+    request.arrival = now_;
+
+    if (request.type == Request::Type::Write) {
+        if (static_cast<int>(writeQueue_.size()) >=
+            config_.writeQueueSize) {
+            return false;
+        }
+        writeQueue_.push_back(std::move(request));
+        return true;
+    }
+
+    if (static_cast<int>(readQueue_.size()) >= config_.readQueueSize) {
+        ++stats_.readQueueFullEvents;
+        return false;
+    }
+    // Forward from a queued write to the same line, if any.
+    const std::uint64_t line = request.addr / 64;
+    for (const Request &w : writeQueue_) {
+        if (w.addr / 64 == line) {
+            ++stats_.readsServed;
+            if (request.onComplete) {
+                completions_.emplace_back(now_ + 1, request.onComplete);
+                std::push_heap(completions_.begin(), completions_.end(),
+                               CompletionLater{});
+            }
+            return true;
+        }
+    }
+    readQueue_.push_back(std::move(request));
+    return true;
+}
+
+bool
+Controller::idle() const
+{
+    return readQueue_.empty() && writeQueue_.empty() &&
+        victimQueue_.empty() && completions_.empty();
+}
+
+void
+Controller::observeActivate(const dram::Address &addr)
+{
+    ++stats_.demandActs;
+    if (!mitigation_)
+        return;
+    std::vector<mitigation::VictimRef> victims;
+    mitigation_->onActivate(org_.flatBank(addr), addr.row, now_, victims);
+    for (const auto &v : victims) {
+        if (v.row < 0 || v.row >= org_.rows)
+            continue;
+        dram::Address a;
+        a.rank = v.flatBank / org_.banksPerRank();
+        const int in_rank = v.flatBank % org_.banksPerRank();
+        a.bankGroup = in_rank / org_.banksPerGroup;
+        a.bank = in_rank % org_.banksPerGroup;
+        a.row = v.row;
+        a.column = 0;
+        victimQueue_.push_back(VictimRefresh{a, false});
+    }
+}
+
+bool
+Controller::tryIssueRefresh()
+{
+    const double mult =
+        mitigation_ ? mitigation_->refreshRateMultiplier() : 1.0;
+    const auto interval = static_cast<dram::Cycle>(
+        static_cast<double>(device_.timing().tREFI) / std::max(1.0, mult));
+
+    if (!refreshPending_ && now_ >= nextRefreshAt_)
+        refreshPending_ = true;
+    if (!refreshPending_)
+        return false;
+
+    // Close any open bank first (one command per cycle).
+    dram::Address addr;
+    for (addr.rank = 0; addr.rank < org_.ranks; ++addr.rank) {
+        for (addr.bankGroup = 0; addr.bankGroup < org_.bankGroups;
+             ++addr.bankGroup) {
+            for (addr.bank = 0; addr.bank < org_.banksPerGroup;
+                 ++addr.bank) {
+                if (!device_.isOpen(addr))
+                    continue;
+                if (device_.canIssue(dram::Command::PRE, addr, now_)) {
+                    device_.issue(dram::Command::PRE, addr, now_);
+                    return true;
+                }
+                return true; // Wait for the PRE to become legal.
+            }
+        }
+    }
+
+    addr = dram::Address{};
+    if (!device_.canIssue(dram::Command::REF, addr, now_))
+        return true; // Banks closed but timing not met yet; keep waiting.
+
+    device_.issue(dram::Command::REF, addr, now_);
+    ++stats_.autoRefreshes;
+    refreshPending_ = false;
+    nextRefreshAt_ = now_ + std::max<dram::Cycle>(interval, 1);
+
+    // Auto-refresh time beyond the baseline refresh rate is mitigation
+    // overhead (increased-refresh-rate mechanism).
+    if (mult > 1.0) {
+        stats_.mitigationBusyCycles +=
+            static_cast<double>(device_.timing().tRFC) *
+            (mult - 1.0) / mult;
+    }
+
+    if (mitigation_) {
+        const int rows_per_ref = std::max(
+            1, org_.rows / std::max(1, device_.timing()
+                                           .refreshesPerWindow()));
+        std::vector<mitigation::VictimRef> victims;
+        mitigation_->onRefresh(refIndex_, rows_per_ref, victims);
+        for (const auto &v : victims) {
+            if (v.row < 0 || v.row >= org_.rows)
+                continue; // Tracked neighbor of an edge row.
+            dram::Address a;
+            a.rank = v.flatBank / org_.banksPerRank();
+            const int in_rank = v.flatBank % org_.banksPerRank();
+            a.bankGroup = in_rank / org_.banksPerGroup;
+            a.bank = in_rank % org_.banksPerGroup;
+            a.row = v.row;
+            victimQueue_.push_back(VictimRefresh{a, false});
+        }
+    }
+    ++refIndex_;
+    return true;
+}
+
+std::vector<bool>
+Controller::protectedBanks(bool include_reads, bool include_writes) const
+{
+    std::vector<bool> out(static_cast<std::size_t>(org_.totalBanks()),
+                          false);
+    auto scan = [&](const std::deque<Request> &queue) {
+        for (const Request &request : queue) {
+            if (device_.isOpen(request.decoded) &&
+                device_.openRow(request.decoded) ==
+                    request.decoded.row) {
+                out[static_cast<std::size_t>(
+                    org_.flatBank(request.decoded))] = true;
+            }
+        }
+    };
+    if (include_reads)
+        scan(readQueue_);
+    if (include_writes)
+        scan(writeQueue_);
+    return out;
+}
+
+bool
+Controller::tryIssueVictimRefresh()
+{
+    if (victimQueue_.empty())
+        return false;
+    VictimRefresh &vr = victimQueue_.front();
+
+    if (!vr.activated) {
+        // Let queued row hits on this bank drain first; closing their
+        // row mid-burst would force extra activations (row thrash).
+        // Only the actively-served queue can make progress, so only it
+        // protects banks.
+        if (device_.isOpen(vr.addr) &&
+            device_.openRow(vr.addr) != vr.addr.row &&
+            protectedBanks(!drainingWrites_,
+                           drainingWrites_)[static_cast<std::size_t>(
+                org_.flatBank(vr.addr))]) {
+            return false;
+        }
+        if (device_.isOpen(vr.addr) &&
+            device_.openRow(vr.addr) == vr.addr.row) {
+            // Row already open: opening it refreshed it; just finish.
+            victimQueue_.pop_front();
+            return false;
+        }
+        if (device_.isOpen(vr.addr)) {
+            if (device_.canIssue(dram::Command::PRE, vr.addr, now_)) {
+                device_.issue(dram::Command::PRE, vr.addr, now_);
+                return true;
+            }
+            return true;
+        }
+        if (device_.canIssue(dram::Command::ACT, vr.addr, now_)) {
+            device_.issue(dram::Command::ACT, vr.addr, now_);
+            vr.activated = true;
+            ++stats_.mitigationRefreshes;
+            stats_.mitigationBusyCycles += device_.timing().tRC;
+            return true;
+        }
+        return true;
+    }
+
+    if (device_.canIssue(dram::Command::PRE, vr.addr, now_)) {
+        device_.issue(dram::Command::PRE, vr.addr, now_);
+        victimQueue_.pop_front();
+        return true;
+    }
+    return true;
+}
+
+bool
+Controller::issueForRequest(Request &request, bool row_hit_only)
+{
+    const dram::Address &addr = request.decoded;
+    const bool is_read = request.type == Request::Type::Read;
+    const bool open = device_.isOpen(addr);
+    const bool row_hit = open && device_.openRow(addr) == addr.row;
+
+    if (row_hit_only && !row_hit)
+        return false;
+
+    if (row_hit) {
+        const auto cmd = is_read ? dram::Command::RD : dram::Command::WR;
+        if (!device_.canIssue(cmd, addr, now_))
+            return false;
+        device_.issue(cmd, addr, now_);
+        bankLastUse_[static_cast<std::size_t>(org_.flatBank(addr))] =
+            now_;
+        return true;
+    }
+    if (open) {
+        if (!device_.canIssue(dram::Command::PRE, addr, now_))
+            return false;
+        device_.issue(dram::Command::PRE, addr, now_);
+        return true;
+    }
+    if (!device_.canIssue(dram::Command::ACT, addr, now_))
+        return false;
+    device_.issue(dram::Command::ACT, addr, now_);
+    bankLastUse_[static_cast<std::size_t>(org_.flatBank(addr))] = now_;
+    observeActivate(addr);
+    return true;
+}
+
+bool
+Controller::tryCloseIdleRow()
+{
+    // Open-page policy with timeout: close rows no request has touched
+    // recently, so the next conflicting access pays only tRP-hidden
+    // activation latency rather than a full precharge on the critical
+    // path.
+    dram::Address addr;
+    for (addr.rank = 0; addr.rank < org_.ranks; ++addr.rank) {
+        for (addr.bankGroup = 0; addr.bankGroup < org_.bankGroups;
+             ++addr.bankGroup) {
+            for (addr.bank = 0; addr.bank < org_.banksPerGroup;
+                 ++addr.bank) {
+                if (!device_.isOpen(addr))
+                    continue;
+                const auto flat =
+                    static_cast<std::size_t>(org_.flatBank(addr));
+                if (now_ - bankLastUse_[flat] <
+                    config_.rowIdleCloseCycles) {
+                    continue;
+                }
+                if (device_.canIssue(dram::Command::PRE, addr, now_)) {
+                    device_.issue(dram::Command::PRE, addr, now_);
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+Controller::tryIssueDemand()
+{
+    // Write-drain hysteresis.
+    if (drainingWrites_) {
+        if (static_cast<int>(writeQueue_.size()) <=
+            config_.writeLowWatermark) {
+            drainingWrites_ = false;
+        }
+    } else if (static_cast<int>(writeQueue_.size()) >=
+               config_.writeHighWatermark) {
+        drainingWrites_ = true;
+    }
+
+    const bool serve_writes =
+        drainingWrites_ || (readQueue_.empty() && !writeQueue_.empty());
+    auto &queue = serve_writes ? writeQueue_ : readQueue_;
+    if (queue.empty())
+        return false;
+
+    // Banks whose open row still has queued row-hit requests must not
+    // be precharged by younger conflicting requests (hit priority).
+    const std::vector<bool> protected_bank =
+        protectedBanks(!serve_writes, serve_writes);
+
+    // FR-FCFS: oldest row-hit first, then oldest overall.
+    for (int pass = 0; pass < 2; ++pass) {
+        const bool row_hit_only = pass == 0;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            Request &request = queue[i];
+            const bool row_hit = device_.isOpen(request.decoded) &&
+                device_.openRow(request.decoded) == request.decoded.row;
+            // A conflicting request must wait while the open row still
+            // serves queued hits.
+            if (!row_hit_only && !row_hit &&
+                device_.isOpen(request.decoded) &&
+                protected_bank[static_cast<std::size_t>(
+                    org_.flatBank(request.decoded))]) {
+                continue;
+            }
+            const bool will_finish =
+                row_hit &&
+                device_.canIssue(request.type == Request::Type::Read
+                                     ? dram::Command::RD
+                                     : dram::Command::WR,
+                                 request.decoded, now_);
+            if (!issueForRequest(request, row_hit_only))
+                continue;
+            if (will_finish) {
+                if (request.type == Request::Type::Read) {
+                    ++stats_.readsServed;
+                    if (request.onComplete) {
+                        completions_.emplace_back(
+                            device_.readDataAt(now_),
+                            std::move(request.onComplete));
+                        std::push_heap(completions_.begin(),
+                                       completions_.end(),
+                                       CompletionLater{});
+                    }
+                } else {
+                    ++stats_.writesServed;
+                }
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Controller::tick()
+{
+    ++stats_.cycles;
+
+    while (!completions_.empty() && completions_.front().first <= now_) {
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      CompletionLater{});
+        auto done = std::move(completions_.back());
+        completions_.pop_back();
+        done.second();
+    }
+
+    // One command per cycle, in priority order: auto-refresh, victim
+    // refreshes, demand traffic, idle-row housekeeping.
+    if (!tryIssueRefresh()) {
+        if (!tryIssueVictimRefresh()) {
+            if (!tryIssueDemand())
+                tryCloseIdleRow();
+        }
+    }
+
+    ++now_;
+}
+
+} // namespace rowhammer::sim

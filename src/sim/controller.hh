@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cycle-accurate DRAM memory controller per the paper's Table 6 system
+ * configuration: 64-entry read/write request queues, FR-FCFS scheduling,
+ * open-page row policy, watermark-based write draining, periodic
+ * auto-refresh, and a mitigation hook that injects targeted victim-row
+ * refreshes and scales the refresh rate.
+ */
+
+#ifndef ROWHAMMER_SIM_CONTROLLER_HH
+#define ROWHAMMER_SIM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dram/device.hh"
+#include "mitigation/mitigation.hh"
+#include "sim/request.hh"
+
+namespace rowhammer::sim
+{
+
+/** Controller statistics for performance and overhead metrics. */
+struct ControllerStats
+{
+    std::int64_t cycles = 0;
+    std::int64_t readsServed = 0;
+    std::int64_t writesServed = 0;
+    std::int64_t demandActs = 0;
+    std::int64_t autoRefreshes = 0;
+    std::int64_t mitigationRefreshes = 0;
+    /** Device cycles consumed by mitigation-induced work: victim-row
+     *  refreshes (tRC each) plus auto-refresh time beyond the baseline
+     *  refresh rate. */
+    double mitigationBusyCycles = 0.0;
+    std::int64_t readQueueFullEvents = 0;
+
+    /** Paper Figure 10a metric: percent of DRAM time spent on the
+     *  mitigation mechanism. */
+    double bandwidthOverheadPercent() const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return 100.0 * mitigationBusyCycles /
+            static_cast<double>(cycles);
+    }
+};
+
+/**
+ * One-channel memory controller. Drive with tick(), one device clock
+ * cycle at a time; enqueue requests any time (enqueue returns false when
+ * the target queue is full, modeling back-pressure).
+ */
+class Controller
+{
+  public:
+    struct Config
+    {
+        int readQueueSize = 64;
+        int writeQueueSize = 64;
+        int writeHighWatermark = 48;
+        int writeLowWatermark = 16;
+        /** Idle cycles after which an open row is closed (open-page
+         *  policy with timeout). */
+        int rowIdleCloseCycles = 200;
+    };
+
+    Controller(dram::Organization org, dram::TimingSpec timing);
+    Controller(dram::Organization org, dram::TimingSpec timing,
+               Config config);
+
+    /** Attach a mitigation mechanism (nullptr = none). Not owned. */
+    void setMitigation(mitigation::Mitigation *mechanism);
+
+    /** Current cycle. */
+    dram::Cycle now() const { return now_; }
+
+    const ControllerStats &stats() const { return stats_; }
+    const dram::Device &device() const { return device_; }
+    const AddressMapper &mapper() const { return mapper_; }
+
+    /** Number of free read-queue entries. */
+    int readQueueSpace() const;
+
+    /** Accept a request; returns false when the queue is full. */
+    bool enqueue(Request request);
+
+    /** True iff no demand request is queued or in flight. */
+    bool idle() const;
+
+    /** Advance one device clock cycle. */
+    void tick();
+
+  private:
+    /** A pending mitigation-issued victim-row refresh. */
+    struct VictimRefresh
+    {
+        dram::Address addr;
+        bool activated = false;
+    };
+
+    /** In-flight read completion. */
+    struct Completion
+    {
+        dram::Cycle at;
+        std::size_t requestIndex;
+
+        bool operator>(const Completion &other) const
+        {
+            return at > other.at;
+        }
+    };
+
+    void observeActivate(const dram::Address &addr);
+    /** Banks whose open row still has queued row-hit requests. */
+    std::vector<bool> protectedBanks(bool include_reads,
+                                     bool include_writes) const;
+    bool tryIssueRefresh();
+    bool tryCloseIdleRow();
+    bool tryIssueVictimRefresh();
+    bool tryIssueDemand();
+    bool issueForRequest(Request &request, bool row_hit_only);
+
+    dram::Organization org_;
+    dram::Device device_;
+    AddressMapper mapper_;
+    Config config_;
+    mitigation::Mitigation *mitigation_ = nullptr;
+
+    dram::Cycle now_ = 0;
+    dram::Cycle nextRefreshAt_ = 0;
+    std::uint64_t refIndex_ = 0;
+    bool refreshPending_ = false;
+    bool drainingWrites_ = false;
+
+    std::deque<Request> readQueue_;
+    std::deque<Request> writeQueue_;
+    /** Last cycle each flat bank was used (for idle-row closing). */
+    std::vector<dram::Cycle> bankLastUse_;
+    std::deque<VictimRefresh> victimQueue_;
+    /** Completions min-heap keyed by cycle. */
+    std::vector<std::pair<dram::Cycle, std::function<void()>>> completions_;
+
+    ControllerStats stats_;
+};
+
+} // namespace rowhammer::sim
+
+#endif // ROWHAMMER_SIM_CONTROLLER_HH

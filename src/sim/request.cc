@@ -1,0 +1,51 @@
+#include "request.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::sim
+{
+
+AddressMapper::AddressMapper(dram::Organization org) : org_(org)
+{
+    org_.check();
+}
+
+dram::Address
+AddressMapper::decode(std::uint64_t addr) const
+{
+    dram::Address out;
+    std::uint64_t x = addr / static_cast<std::uint64_t>(org_.bytesPerColumn);
+    out.column = static_cast<int>(x % static_cast<std::uint64_t>(
+                                          org_.columns));
+    x /= static_cast<std::uint64_t>(org_.columns);
+    out.bankGroup = static_cast<int>(
+        x % static_cast<std::uint64_t>(org_.bankGroups));
+    x /= static_cast<std::uint64_t>(org_.bankGroups);
+    out.bank = static_cast<int>(
+        x % static_cast<std::uint64_t>(org_.banksPerGroup));
+    x /= static_cast<std::uint64_t>(org_.banksPerGroup);
+    out.rank =
+        static_cast<int>(x % static_cast<std::uint64_t>(org_.ranks));
+    x /= static_cast<std::uint64_t>(org_.ranks);
+    out.row = static_cast<int>(x % static_cast<std::uint64_t>(org_.rows));
+    return out;
+}
+
+std::uint64_t
+AddressMapper::encode(const dram::Address &addr) const
+{
+    if (!org_.contains(addr))
+        util::panic("AddressMapper::encode: address out of range");
+    std::uint64_t x = static_cast<std::uint64_t>(addr.row);
+    x = x * static_cast<std::uint64_t>(org_.ranks) +
+        static_cast<std::uint64_t>(addr.rank);
+    x = x * static_cast<std::uint64_t>(org_.banksPerGroup) +
+        static_cast<std::uint64_t>(addr.bank);
+    x = x * static_cast<std::uint64_t>(org_.bankGroups) +
+        static_cast<std::uint64_t>(addr.bankGroup);
+    x = x * static_cast<std::uint64_t>(org_.columns) +
+        static_cast<std::uint64_t>(addr.column);
+    return x * static_cast<std::uint64_t>(org_.bytesPerColumn);
+}
+
+} // namespace rowhammer::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory request type exchanged between the CPU model and the memory
+ * controller, plus the physical-address-to-DRAM-address mapper.
+ */
+
+#ifndef ROWHAMMER_SIM_REQUEST_HH
+#define ROWHAMMER_SIM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "dram/organization.hh"
+#include "dram/types.hh"
+
+namespace rowhammer::sim
+{
+
+/** A memory request at cache-line granularity. */
+struct Request
+{
+    enum class Type
+    {
+        Read,
+        Write,
+    };
+
+    std::uint64_t addr = 0; ///< Physical byte address.
+    Type type = Type::Read;
+    int coreId = 0;
+    dram::Cycle arrival = 0;      ///< Cycle the controller accepted it.
+    dram::Address decoded;        ///< Filled by the controller.
+    std::function<void()> onComplete; ///< Invoked when read data returns.
+};
+
+/**
+ * Physical-address to device-address mapping. Layout (LSB to MSB):
+ * 6-bit line offset, column, bank group, bank, rank, row — consecutive
+ * cache lines fill a row before moving to the next bank, giving
+ * row-buffer locality to streaming access patterns.
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(dram::Organization org);
+
+    dram::Address decode(std::uint64_t addr) const;
+
+    /** Inverse of decode (used by tests and trace generators). */
+    std::uint64_t encode(const dram::Address &addr) const;
+
+    const dram::Organization &organization() const { return org_; }
+
+  private:
+    dram::Organization org_;
+};
+
+} // namespace rowhammer::sim
+
+#endif // ROWHAMMER_SIM_REQUEST_HH

@@ -1,0 +1,101 @@
+#include "bitvec.hh"
+
+#include <bit>
+
+#include "logging.hh"
+
+namespace rowhammer::util
+{
+
+BitVec::BitVec(std::size_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+}
+
+BitVec::BitVec(std::size_t bits, std::uint8_t fill_byte)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+    std::uint64_t pattern = 0;
+    for (int i = 0; i < 8; ++i)
+        pattern |= static_cast<std::uint64_t>(fill_byte) << (8 * i);
+    for (auto &w : words_)
+        w = pattern;
+    // Clear any bits beyond size so popcount stays exact.
+    const std::size_t tail = bits_ % 64;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (~0ULL) >> (64 - tail);
+}
+
+void
+BitVec::checkIndex(std::size_t i) const
+{
+    if (i >= bits_)
+        panic("BitVec: index out of range");
+}
+
+bool
+BitVec::get(std::size_t i) const
+{
+    checkIndex(i);
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void
+BitVec::set(std::size_t i, bool value)
+{
+    checkIndex(i);
+    if (value)
+        words_[i / 64] |= 1ULL << (i % 64);
+    else
+        words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+void
+BitVec::flip(std::size_t i)
+{
+    checkIndex(i);
+    words_[i / 64] ^= 1ULL << (i % 64);
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+BitVec
+BitVec::operator^(const BitVec &other) const
+{
+    if (bits_ != other.bits_)
+        panic("BitVec::operator^: size mismatch");
+    BitVec out(bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] ^ other.words_[i];
+    return out;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return bits_ == other.bits_ && words_ == other.words_;
+}
+
+std::vector<std::size_t>
+BitVec::setBits() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        std::uint64_t w = words_[wi];
+        while (w) {
+            const int bit = std::countr_zero(w);
+            out.push_back(wi * 64 + static_cast<std::size_t>(bit));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace rowhammer::util

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-size bit vector used by the ECC codes and the fault model's data
+ * patterns. Thin wrapper over packed 64-bit words with bounds-checked
+ * access and popcount/XOR utilities.
+ */
+
+#ifndef ROWHAMMER_UTIL_BITVEC_HH
+#define ROWHAMMER_UTIL_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rowhammer::util
+{
+
+/** Packed bit vector with a fixed bit count set at construction. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** All-zero vector of `bits` bits. */
+    explicit BitVec(std::size_t bits);
+
+    /** Vector of `bits` bits with every byte set to `fill_byte`. */
+    BitVec(std::size_t bits, std::uint8_t fill_byte);
+
+    std::size_t size() const { return bits_; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool value);
+    void flip(std::size_t i);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** Bitwise XOR; operands must be the same size. */
+    BitVec operator^(const BitVec &other) const;
+
+    bool operator==(const BitVec &other) const;
+
+    /** Indices of set bits, ascending. */
+    std::vector<std::size_t> setBits() const;
+
+    /** Raw packed words (low bit of word 0 is bit 0). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    void checkIndex(std::size_t i) const;
+
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_BITVEC_HH

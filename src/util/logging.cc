@@ -1,0 +1,44 @@
+#include "logging.hh"
+
+#include <atomic>
+
+namespace rowhammer::util
+{
+
+namespace
+{
+std::atomic<bool> verboseEnabled{true};
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
+}
+
+} // namespace rowhammer::util

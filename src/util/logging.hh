@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status and error reporting helpers, modelled on gem5's logging.hh split:
+ * panic() for internal invariant violations, fatal() for user errors,
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef ROWHAMMER_UTIL_LOGGING_HH
+#define ROWHAMMER_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rowhammer::util
+{
+
+/** Exception thrown by fatal(): the condition is the caller's fault. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration, invalid
+ * arguments). Throws FatalError so tests can assert on misuse.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a library bug). Throws
+ * PanicError.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr; execution continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_LOGGING_HH

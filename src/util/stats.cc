@@ -1,0 +1,153 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace rowhammer::util
+{
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        panic("quantileSorted: empty sample");
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+BoxplotSummary
+summarize(std::vector<double> samples)
+{
+    BoxplotSummary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+
+    std::sort(samples.begin(), samples.end());
+    s.min = samples.front();
+    s.max = samples.back();
+    s.q1 = quantileSorted(samples, 0.25);
+    s.median = quantileSorted(samples, 0.50);
+    s.q3 = quantileSorted(samples, 0.75);
+
+    const double fence_lo = s.q1 - 1.5 * s.iqr();
+    const double fence_hi = s.q3 + 1.5 * s.iqr();
+    s.whiskerLow = s.max;
+    s.whiskerHigh = s.min;
+    for (double x : samples) {
+        if (x >= fence_lo)
+            s.whiskerLow = std::min(s.whiskerLow, x);
+        if (x <= fence_hi)
+            s.whiskerHigh = std::max(s.whiskerHigh, x);
+        if (x < fence_lo || x > fence_hi)
+            s.outliers.push_back(x);
+    }
+    return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || !(lo < hi))
+        panic("Histogram: invalid range or zero bins");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    std::size_t idx;
+    if (x < lo_) {
+        ++underflow_;
+        idx = 0;
+    } else if (x >= hi_) {
+        ++overflow_;
+        idx = counts_.size() - 1;
+    } else {
+        const double frac = (x - lo_) / (hi_ - lo_);
+        idx = std::min(counts_.size() - 1,
+                       static_cast<std::size_t>(
+                           frac * static_cast<double>(counts_.size())));
+    }
+    ++counts_[idx];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+} // namespace rowhammer::util

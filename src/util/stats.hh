@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistics accumulators used throughout the characterization and
+ * simulation code: streaming mean/stddev, quantile summaries (for the
+ * paper's box-and-whisker plots), and fixed-bin histograms.
+ */
+
+#ifndef ROWHAMMER_UTIL_STATS_HH
+#define ROWHAMMER_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rowhammer::util
+{
+
+/**
+ * Streaming accumulator for mean / variance / extrema (Welford's
+ * algorithm); O(1) memory, numerically stable.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 when count < 2. */
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Five-number summary of a sample, matching the paper's box-and-whisker
+ * convention: quartiles, median, whiskers at 1.5 IQR, outliers beyond.
+ */
+struct BoxplotSummary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double whiskerLow = 0.0;  ///< Smallest sample >= q1 - 1.5 IQR.
+    double whiskerHigh = 0.0; ///< Largest sample <= q3 + 1.5 IQR.
+    std::vector<double> outliers;
+
+    double iqr() const { return q3 - q1; }
+};
+
+/**
+ * Compute a BoxplotSummary from samples. The input is copied and sorted;
+ * quartiles use linear interpolation (type-7, the numpy default).
+ */
+BoxplotSummary summarize(std::vector<double> samples);
+
+/** Quantile (0 <= q <= 1) of a sorted sample with linear interpolation. */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+/**
+ * Fixed-width binning histogram over [lo, hi); samples outside the range
+ * are clamped into the first/last bin and counted separately.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+    std::uint64_t total() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Fraction of all samples that landed in bin i. */
+    double fraction(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_STATS_HH

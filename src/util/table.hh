@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table and series rendering for bench output. Every bench binary
+ * prints the rows/series of its paper table or figure through these
+ * helpers so output is uniform and diffable.
+ */
+
+#ifndef ROWHAMMER_UTIL_TABLE_HH
+#define ROWHAMMER_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rowhammer::util
+{
+
+/**
+ * Simple column-aligned ASCII table. Cells are strings; add header once,
+ * then rows; render() pads columns to the widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (also fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column padding and a rule under the header. */
+    void render(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmt(double value, int precision = 3);
+
+/** Format like the paper's "x1000" hammer counts, e.g. 4800 -> "4.8k". */
+std::string fmtKilo(double value);
+
+/** Format a ratio as a percentage string, e.g. 0.923 -> "92.3%". */
+std::string fmtPercent(double ratio, int precision = 1);
+
+/**
+ * Render an (x, y) series as a two-column listing plus a log-log ASCII
+ * sparkline; used for figure-style benches.
+ */
+void renderSeries(std::ostream &os, const std::string &name,
+                  const std::vector<double> &x, const std::vector<double> &y);
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_TABLE_HH

@@ -1,0 +1,129 @@
+#include "synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rowhammer::workload
+{
+
+SyntheticTrace::SyntheticTrace(AppProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    if (profile_.accessesPerKiloInst <= 0.0)
+        util::fatal("SyntheticTrace: access rate must be positive");
+    if (profile_.coldBytes < profile_.hotBytes)
+        util::fatal("SyntheticTrace: cold region must contain hot region");
+}
+
+cpu::TraceEntry
+SyntheticTrace::next()
+{
+    cpu::TraceEntry entry;
+
+    // Mean non-memory instructions between accesses, fractional part
+    // carried so the long-run rate is exact.
+    const double mean_gap =
+        std::max(0.0, 1000.0 / profile_.accessesPerKiloInst - 1.0);
+    const double jittered =
+        mean_gap * (0.5 + rng_.uniform()) + bubbleCarry_;
+    entry.bubbles = static_cast<int>(jittered);
+    bubbleCarry_ = jittered - static_cast<double>(entry.bubbles);
+
+    entry.write = rng_.bernoulli(profile_.writeFraction);
+
+    const bool cold = rng_.bernoulli(profile_.coldFraction);
+    if (cold) {
+        if (runRemaining_ <= 0) {
+            const std::uint64_t lines = static_cast<std::uint64_t>(
+                profile_.coldBytes / 64);
+            streamPos_ = rng_.uniformInt(0, lines - 1);
+            runRemaining_ = std::max(1, profile_.streamRunLength);
+        }
+        entry.addr = profile_.baseAddr + (streamPos_ % static_cast<
+            std::uint64_t>(profile_.coldBytes / 64)) * 64;
+        ++streamPos_;
+        --runRemaining_;
+    } else {
+        const std::uint64_t lines =
+            static_cast<std::uint64_t>(profile_.hotBytes / 64);
+        entry.addr =
+            profile_.baseAddr + rng_.uniformInt(0, lines - 1) * 64;
+    }
+    return entry;
+}
+
+double
+Mix::expectedMpki() const
+{
+    double total = 0.0;
+    for (const AppProfile &app : apps)
+        total += app.expectedMpki();
+    return total;
+}
+
+std::vector<Mix>
+mixCatalogue(int cores, std::int64_t cold_bytes_per_app)
+{
+    constexpr int mix_count = 48;
+    std::vector<Mix> mixes;
+    mixes.reserve(mix_count);
+
+    for (int m = 0; m < mix_count; ++m) {
+        util::Rng rng(0x5eed0000ULL + static_cast<std::uint64_t>(m));
+        Mix mix;
+        mix.name = "mix" + std::to_string(m);
+
+        // Aggregate MPKI target log-spaced over the paper's 10-740 range.
+        const double target =
+            10.0 * std::pow(74.0, static_cast<double>(m) / 47.0);
+
+        // Random per-core shares of the aggregate intensity.
+        std::vector<double> weights(static_cast<std::size_t>(cores));
+        double weight_sum = 0.0;
+        for (double &w : weights) {
+            w = 0.2 + rng.uniform();
+            weight_sum += w;
+        }
+
+        for (int c = 0; c < cores; ++c) {
+            AppProfile app;
+            app.name = mix.name + ".app" + std::to_string(c);
+            const double mpki =
+                target * weights[static_cast<std::size_t>(c)] /
+                weight_sum;
+            app.coldFraction = 0.3 + 0.45 * rng.uniform();
+            app.accessesPerKiloInst =
+                std::min(250.0, mpki / app.coldFraction);
+            // If the APKI cap binds, recover the MPKI via coldFraction.
+            app.coldFraction = std::min(
+                0.95, mpki / app.accessesPerKiloInst);
+            app.writeFraction = 0.1 + 0.3 * rng.uniform();
+            // Full-scale traces stream through their cold region;
+            // scaled-down footprints use short runs (random revisits)
+            // so rows accumulate activations at the intensity a
+            // 200M-instruction SPEC run produces on a full array.
+            const bool scaled =
+                cold_bytes_per_app <= 32LL * 1024 * 1024;
+            const int full_runs[3] = {4, 8, 16};
+            const int scaled_runs[3] = {1, 2, 4};
+            app.streamRunLength =
+                (scaled ? scaled_runs
+                        : full_runs)[rng.uniformInt(0, 2)];
+            app.coldBytes = cold_bytes_per_app;
+            const std::int64_t hot_cap =
+                std::max<std::int64_t>(64 * 1024, app.coldBytes / 64);
+            app.hotBytes = std::min<std::int64_t>(
+                hot_cap, static_cast<std::int64_t>(
+                             (256 + rng.uniformInt(0, 768)) * 1024));
+            app.baseAddr = static_cast<std::uint64_t>(c) *
+                static_cast<std::uint64_t>(app.coldBytes);
+            mix.apps.push_back(app);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace rowhammer::workload

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic SPEC-CPU2006-like workload generation.
+ *
+ * The paper evaluates mitigation mechanisms on 48 randomly drawn 8-core
+ * SPEC CPU2006 mixes whose MPKI (LLC misses per kilo-instruction) ranges
+ * from 10 to 740. We cannot ship SPEC traces, so each application is a
+ * parameterized synthetic memory behaviour: a hot working set that fits
+ * in the LLC and a cold streaming region that misses, with tunable
+ * access rate, spatial (row-buffer) locality, write fraction, and
+ * footprint. The fixed 48-mix catalogue spans the paper's MPKI range.
+ */
+
+#ifndef ROWHAMMER_WORKLOAD_SYNTHETIC_HH
+#define ROWHAMMER_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::workload
+{
+
+/** Behavioural profile of one synthetic application. */
+struct AppProfile
+{
+    std::string name = "app";
+    /** Memory accesses per kilo-instruction issued by the core. */
+    double accessesPerKiloInst = 50.0;
+    /** Fraction of accesses targeting the cold (LLC-missing) region. */
+    double coldFraction = 0.5;
+    /** Fraction of accesses that are writes. */
+    double writeFraction = 0.25;
+    /**
+     * Consecutive lines read from the cold region before jumping to a
+     * new random row (controls row-buffer locality).
+     */
+    int streamRunLength = 8;
+    /** Hot working-set size in bytes (should fit in the LLC share). */
+    std::int64_t hotBytes = 512 * 1024;
+    /** Cold region size in bytes (must dwarf the LLC). */
+    std::int64_t coldBytes = 512LL * 1024 * 1024;
+    /** Base physical address (cores get disjoint regions). */
+    std::uint64_t baseAddr = 0;
+
+    /** Approximate LLC MPKI this profile induces. */
+    double expectedMpki() const
+    {
+        return accessesPerKiloInst * coldFraction;
+    }
+};
+
+/** Infinite synthetic trace implementing cpu::TraceSource. */
+class SyntheticTrace : public cpu::TraceSource
+{
+  public:
+    SyntheticTrace(AppProfile profile, std::uint64_t seed);
+
+    cpu::TraceEntry next() override;
+
+    const AppProfile &profile() const { return profile_; }
+
+  private:
+    AppProfile profile_;
+    util::Rng rng_;
+    double bubbleCarry_ = 0.0;
+    std::uint64_t streamPos_ = 0;
+    int runRemaining_ = 0;
+};
+
+/** An 8-core workload mix. */
+struct Mix
+{
+    std::string name;
+    std::vector<AppProfile> apps; ///< One per core.
+
+    /** Sum of per-app expected MPKI (the paper's mix-level metric). */
+    double expectedMpki() const;
+};
+
+/**
+ * The fixed 48-mix catalogue. Mixes are seeded deterministically and
+ * span aggregate MPKI from ~10 to ~740 like the paper's SPEC draws.
+ *
+ * @param cores Applications per mix.
+ * @param cold_bytes_per_app Cold-region footprint per application. The
+ *     default matches the full-scale 2 GB channel; scaled-down
+ *     mitigation experiments shrink it (with the DRAM array and LLC)
+ *     so that per-row activation intensity matches the paper's
+ *     200M-instruction runs. Hot working sets scale along with it.
+ */
+std::vector<Mix> mixCatalogue(int cores = 8,
+                              std::int64_t cold_bytes_per_app =
+                                  256LL * 1024 * 1024);
+
+} // namespace rowhammer::workload
+
+#endif // ROWHAMMER_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the DRAM device model: timing presets, organization
+ * arithmetic, and the bank/rank/channel timing state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/device.hh"
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rowhammer::dram;
+using rowhammer::util::FatalError;
+using rowhammer::util::PanicError;
+
+class TimingPresets : public ::testing::TestWithParam<Standard>
+{
+};
+
+TEST_P(TimingPresets, InternallyConsistent)
+{
+    const TimingSpec t = defaultTiming(GetParam());
+    EXPECT_NO_THROW(t.check());
+    EXPECT_EQ(t.standard, GetParam());
+    EXPECT_GE(t.tRC, t.tRAS + t.tRP);
+    EXPECT_GT(t.refreshesPerWindow(), 1000);
+}
+
+TEST_P(TimingPresets, ActivationIntervalMatchesPaper)
+{
+    // Section 4.3 quotes tRC of 52.5 / 50 / 60 ns for DDR3 / DDR4 /
+    // LPDDR4; the speed bins modeled are within ~10%.
+    const TimingSpec t = defaultTiming(GetParam());
+    const double trc_ns = t.toNs(t.tRC);
+    switch (GetParam()) {
+      case Standard::DDR3:
+        EXPECT_NEAR(trc_ns, 52.5, 5.0);
+        break;
+      case Standard::DDR4:
+        EXPECT_NEAR(trc_ns, 50.0, 5.0);
+        break;
+      case Standard::LPDDR4:
+        EXPECT_NEAR(trc_ns, 60.0, 2.0);
+        break;
+    }
+}
+
+TEST_P(TimingPresets, HammerFitsRefreshWindow)
+{
+    // The paper's maximum test of 150k hammers (300k activations) must
+    // complete within 32 ms on every standard (Section 4.3).
+    const TimingSpec t = defaultTiming(GetParam());
+    const double loop_ms = 300000.0 * t.toNs(t.tRC) * 1e-6;
+    EXPECT_LT(loop_ms, 32.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStandards, TimingPresets,
+                         ::testing::Values(Standard::DDR3, Standard::DDR4,
+                                           Standard::LPDDR4));
+
+TEST(Timing, ToCyclesRoundsUp)
+{
+    const TimingSpec t = ddr4_2400();
+    EXPECT_EQ(t.toCycles(0.833), 1);
+    EXPECT_EQ(t.toCycles(0.9), 2);
+    EXPECT_EQ(t.toCycles(8.33), 10);
+}
+
+TEST(Timing, BadSpecRejected)
+{
+    TimingSpec t = ddr4_2400();
+    t.tRC = 1; // < tRAS + tRP.
+    EXPECT_THROW(t.check(), FatalError);
+}
+
+TEST(Organization, Table6Geometry)
+{
+    const Organization org = table6Organization();
+    EXPECT_EQ(org.totalBanks(), 16);
+    EXPECT_EQ(org.rows, 16384);
+    EXPECT_EQ(org.rowBytes(), 8192);
+    EXPECT_EQ(org.totalBytes(), 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(Organization, FlatIndexing)
+{
+    const Organization org = table6Organization();
+    Address a{.rank = 0, .bankGroup = 2, .bank = 3, .row = 5,
+              .column = 0};
+    EXPECT_EQ(org.flatBank(a), 2 * 4 + 3);
+    EXPECT_EQ(org.flatRow(a), static_cast<std::int64_t>(11) * 16384 + 5);
+    EXPECT_TRUE(org.contains(a));
+    a.row = 16384;
+    EXPECT_FALSE(org.contains(a));
+}
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    DeviceTest() : dev_(table6Organization(), ddr4_2400()) {}
+
+    Address
+    addr(int bg, int bank, int row, int col = 0)
+    {
+        return Address{.rank = 0, .bankGroup = bg, .bank = bank,
+                       .row = row, .column = col};
+    }
+
+    Device dev_;
+};
+
+TEST_F(DeviceTest, ActThenReadRespectsTrcd)
+{
+    const Address a = addr(0, 0, 100);
+    dev_.issue(Command::ACT, a, 0);
+    EXPECT_TRUE(dev_.isOpen(a));
+    EXPECT_EQ(dev_.openRow(a), 100);
+    const TimingSpec &t = dev_.timing();
+    EXPECT_EQ(dev_.earliest(Command::RD, a, 0), t.tRCD);
+    EXPECT_FALSE(dev_.canIssue(Command::RD, a, t.tRCD - 1));
+    EXPECT_TRUE(dev_.canIssue(Command::RD, a, t.tRCD));
+}
+
+TEST_F(DeviceTest, SameBankActToActIsTrc)
+{
+    const Address a = addr(0, 0, 1);
+    dev_.issue(Command::ACT, a, 0);
+    dev_.issue(Command::PRE, a, dev_.earliest(Command::PRE, a, 0));
+    Address b = a;
+    b.row = 2;
+    EXPECT_GE(dev_.earliest(Command::ACT, b, 0), dev_.timing().tRC);
+}
+
+TEST_F(DeviceTest, PreRespectsTras)
+{
+    const Address a = addr(1, 1, 7);
+    dev_.issue(Command::ACT, a, 0);
+    EXPECT_EQ(dev_.earliest(Command::PRE, a, 0), dev_.timing().tRAS);
+}
+
+TEST_F(DeviceTest, SameGroupActToActUsesLongRrd)
+{
+    const TimingSpec &t = dev_.timing();
+    dev_.issue(Command::ACT, addr(0, 0, 1), 0);
+    EXPECT_EQ(dev_.earliest(Command::ACT, addr(0, 1, 1), 0), t.tRRDL);
+    EXPECT_EQ(dev_.earliest(Command::ACT, addr(1, 0, 1), 0), t.tRRDS);
+}
+
+TEST_F(DeviceTest, FawLimitsFourActivations)
+{
+    const TimingSpec &t = dev_.timing();
+    Cycle at = 0;
+    for (int i = 0; i < 4; ++i) {
+        const Address a = addr(i, 0, 1);
+        at = dev_.earliest(Command::ACT, a, at);
+        dev_.issue(Command::ACT, a, at);
+    }
+    // The fifth activation in the rank must wait for the tFAW window.
+    const Address fifth = addr(0, 1, 1);
+    EXPECT_GE(dev_.earliest(Command::ACT, fifth, at), t.tFAW);
+}
+
+TEST_F(DeviceTest, WriteToReadTurnaround)
+{
+    const TimingSpec &t = dev_.timing();
+    const Address a = addr(0, 0, 3);
+    dev_.issue(Command::ACT, a, 0);
+    const Cycle wr_at = dev_.earliest(Command::WR, a, 0);
+    dev_.issue(Command::WR, a, wr_at);
+    EXPECT_GE(dev_.earliest(Command::RD, a, wr_at),
+              wr_at + t.writeToReadL());
+}
+
+TEST_F(DeviceTest, RefRequiresAllBanksClosed)
+{
+    const Address a = addr(0, 0, 9);
+    dev_.issue(Command::ACT, a, 0);
+    EXPECT_FALSE(dev_.canIssue(Command::REF, Address{}, 1000));
+    const Cycle pre_at = dev_.earliest(Command::PRE, a, 0);
+    dev_.issue(Command::PRE, a, pre_at);
+    const Cycle ref_at = dev_.earliest(Command::REF, Address{}, pre_at);
+    dev_.issue(Command::REF, Address{}, ref_at);
+    // tRFC blocks the whole rank.
+    EXPECT_GE(dev_.earliest(Command::ACT, a, ref_at),
+              ref_at + dev_.timing().tRFC);
+}
+
+TEST_F(DeviceTest, PreaClosesEverything)
+{
+    dev_.issue(Command::ACT, addr(0, 0, 1), 0);
+    const Cycle at = dev_.earliest(Command::ACT, addr(1, 1, 2), 0);
+    dev_.issue(Command::ACT, addr(1, 1, 2), at);
+    const Cycle prea_at = dev_.earliest(Command::PREA, Address{}, at);
+    dev_.issue(Command::PREA, Address{}, prea_at);
+    EXPECT_FALSE(dev_.isOpen(addr(0, 0, 1)));
+    EXPECT_FALSE(dev_.isOpen(addr(1, 1, 2)));
+}
+
+TEST_F(DeviceTest, IllegalCommandsPanic)
+{
+    const Address a = addr(0, 0, 1);
+    // RD with bank closed.
+    EXPECT_THROW(dev_.issue(Command::RD, a, 0), PanicError);
+    dev_.issue(Command::ACT, a, 0);
+    // Double activation.
+    EXPECT_THROW(dev_.issue(Command::ACT, a, 1000), PanicError);
+    // Premature RD.
+    EXPECT_THROW(dev_.issue(Command::RD, a, 1), PanicError);
+    // openRow on closed bank.
+    EXPECT_THROW(dev_.openRow(addr(1, 0, 0)), PanicError);
+}
+
+TEST_F(DeviceTest, TimeMustNotGoBackwards)
+{
+    dev_.issue(Command::ACT, addr(0, 0, 1), 100);
+    EXPECT_THROW(dev_.issue(Command::ACT, addr(1, 0, 1), 50),
+                 PanicError);
+}
+
+TEST_F(DeviceTest, ObserverSeesCommands)
+{
+    int acts = 0;
+    Cycle last_at = -1;
+    dev_.setObserver([&](Command cmd, const Address &, Cycle at) {
+        if (cmd == Command::ACT) {
+            ++acts;
+            last_at = at;
+        }
+    });
+    dev_.issue(Command::ACT, addr(0, 0, 5), 10);
+    EXPECT_EQ(acts, 1);
+    EXPECT_EQ(last_at, 10);
+    EXPECT_EQ(dev_.stats().acts, 1);
+}
+
+TEST_F(DeviceTest, StatsCount)
+{
+    const Address a = addr(0, 0, 2);
+    dev_.issue(Command::ACT, a, 0);
+    const Cycle rd_at = dev_.earliest(Command::RD, a, 0);
+    dev_.issue(Command::RD, a, rd_at);
+    const Cycle pre_at = dev_.earliest(Command::PRE, a, rd_at);
+    dev_.issue(Command::PRE, a, pre_at);
+    EXPECT_EQ(dev_.stats().acts, 1);
+    EXPECT_EQ(dev_.stats().reads, 1);
+    EXPECT_EQ(dev_.stats().pres, 1);
+}
+
+TEST(DeviceDdr3, NoBankGroupDistinction)
+{
+    Device dev(tinyOrganization(), ddr3_1600());
+    const TimingSpec &t = dev.timing();
+    EXPECT_EQ(t.tRRDS, t.tRRDL);
+    dev.issue(Command::ACT,
+              Address{.rank = 0, .bankGroup = 0, .bank = 0, .row = 1,
+                      .column = 0},
+              0);
+    EXPECT_EQ(dev.earliest(Command::ACT,
+                           Address{.rank = 0, .bankGroup = 1, .bank = 0,
+                                   .row = 1, .column = 0},
+                           0),
+              t.tRRDS);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the ECC codes: Hamming SEC, SEC-DED, the on-die
+ * (136,128) model, and the t-error-correcting capability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include "ecc/hamming.hh"
+#include "ecc/ondie.hh"
+#include "ecc/terror.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rowhammer::ecc;
+using rowhammer::util::BitVec;
+using rowhammer::util::Rng;
+
+BitVec
+randomData(std::size_t bits, Rng &rng)
+{
+    BitVec data(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        data.set(i, rng.bernoulli(0.5));
+    return data;
+}
+
+TEST(HammingSec, GeometryFor64And128)
+{
+    HammingSec h64(64);
+    EXPECT_EQ(h64.parityBits(), 7u);
+    EXPECT_EQ(h64.codeBits(), 71u);
+    HammingSec h128(128);
+    EXPECT_EQ(h128.parityBits(), 8u);
+    EXPECT_EQ(h128.codeBits(), 136u);
+}
+
+TEST(HammingSec, RoundTripClean)
+{
+    Rng rng(1);
+    HammingSec code(64);
+    for (int i = 0; i < 50; ++i) {
+        const BitVec data = randomData(64, rng);
+        const DecodeResult r = code.decode(code.encode(data));
+        EXPECT_EQ(r.status, DecodeStatus::NoError);
+        EXPECT_TRUE(r.data == data);
+    }
+}
+
+class HammingSingleError : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HammingSingleError, EveryPositionCorrected)
+{
+    Rng rng(2);
+    HammingSec code(64);
+    const BitVec data = randomData(64, rng);
+    BitVec cw = code.encode(data);
+    cw.flip(GetParam());
+    const DecodeResult r = code.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::Corrected);
+    EXPECT_TRUE(r.data == data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, HammingSingleError,
+                         ::testing::Range<std::size_t>(0, 71));
+
+TEST(HammingSec, DoubleErrorNeverSilent)
+{
+    // With two flips a SEC decoder must either miscorrect (Corrected
+    // with wrong data) or report DetectedOnly; it can never return
+    // NoError with wrong data.
+    Rng rng(3);
+    HammingSec code(64);
+    const BitVec data = randomData(64, rng);
+    const BitVec cw = code.encode(data);
+    int miscorrections = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        BitVec corrupted = cw;
+        const auto b1 = rng.uniformInt(0, 70);
+        auto b2 = rng.uniformInt(0, 70);
+        while (b2 == b1)
+            b2 = rng.uniformInt(0, 70);
+        corrupted.flip(b1);
+        corrupted.flip(b2);
+        const DecodeResult r = code.decode(corrupted);
+        EXPECT_NE(r.status, DecodeStatus::NoError);
+        if (r.status == DecodeStatus::Corrected && !(r.data == data))
+            ++miscorrections;
+    }
+    // Realistic SEC behaviour: most double errors alias to a
+    // "correction" of an innocent third bit.
+    EXPECT_GT(miscorrections, 100);
+}
+
+TEST(HammingSec, ExtractDataIgnoresCorrection)
+{
+    Rng rng(4);
+    HammingSec code(64);
+    const BitVec data = randomData(64, rng);
+    BitVec cw = code.encode(data);
+    EXPECT_TRUE(code.extractData(cw) == data);
+    // Flipping a parity bit leaves extracted raw data untouched.
+    cw.flip(0); // Position 1 is a parity bit.
+    EXPECT_TRUE(code.extractData(cw) == data);
+}
+
+TEST(SecDed, GeometryIs72_64)
+{
+    SecDed code(64);
+    EXPECT_EQ(code.codeBits(), 72u);
+}
+
+TEST(SecDed, SingleErrorCorrected)
+{
+    Rng rng(5);
+    SecDed code(64);
+    const BitVec data = randomData(64, rng);
+    for (std::size_t pos = 0; pos < code.codeBits(); ++pos) {
+        BitVec cw = code.encode(data);
+        cw.flip(pos);
+        const DecodeResult r = code.decode(cw);
+        EXPECT_EQ(r.status, DecodeStatus::Corrected) << "pos " << pos;
+        EXPECT_TRUE(r.data == data) << "pos " << pos;
+    }
+}
+
+TEST(SecDed, DoubleErrorDetectedNotMiscorrected)
+{
+    Rng rng(6);
+    SecDed code(64);
+    const BitVec data = randomData(64, rng);
+    const BitVec cw = code.encode(data);
+    for (int trial = 0; trial < 100; ++trial) {
+        BitVec corrupted = cw;
+        const auto b1 = rng.uniformInt(0, 71);
+        auto b2 = rng.uniformInt(0, 71);
+        while (b2 == b1)
+            b2 = rng.uniformInt(0, 71);
+        corrupted.flip(b1);
+        corrupted.flip(b2);
+        const DecodeResult r = code.decode(corrupted);
+        EXPECT_EQ(r.status, DecodeStatus::DetectedOnly);
+    }
+}
+
+TEST(OnDieEcc, SingleRawFlipInvisible)
+{
+    // Observation in Section 5.4: on-die ECC makes single-bit errors
+    // rare because any true single-bit error is immediately corrected.
+    OnDieEcc ecc(128);
+    const BitVec data(128, 0xA5);
+    OnDieEccStats stats;
+    for (std::size_t bit = 0; bit < ecc.codeBits(); ++bit) {
+        const BitVec seen = ecc.readWithFlips(data, {bit}, &stats);
+        EXPECT_TRUE(seen == data);
+    }
+    EXPECT_EQ(stats.corrections,
+              static_cast<long>(ecc.codeBits()));
+}
+
+TEST(OnDieEcc, DoubleRawFlipEscapes)
+{
+    OnDieEcc ecc(128);
+    const BitVec data(128, 0x00);
+    Rng rng(7);
+    int observable = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto b1 = rng.uniformInt(0, ecc.codeBits() - 1);
+        auto b2 = rng.uniformInt(0, ecc.codeBits() - 1);
+        while (b2 == b1)
+            b2 = rng.uniformInt(0, ecc.codeBits() - 1);
+        const BitVec seen = ecc.readWithFlips(data, {b1, b2});
+        if (!(seen == data))
+            ++observable;
+    }
+    // Two raw flips exceed SEC strength; nearly all must be observable
+    // (possibly with extra miscorrected bits).
+    EXPECT_GT(observable, 180);
+}
+
+TEST(OnDieEcc, MiscorrectionCanAddThirdFlip)
+{
+    // Find a double flip whose decode yields three observed data flips:
+    // the decoder corrupting an error-free bit (Section 5.4).
+    OnDieEcc ecc(128);
+    const BitVec data(128, 0xFF);
+    bool found = false;
+    for (std::size_t b1 = 3; b1 < 40 && !found; ++b1) {
+        for (std::size_t b2 = b1 + 1; b2 < 40 && !found; ++b2) {
+            const BitVec seen = ecc.readWithFlips(data, {b1, b2});
+            const std::size_t flips = (seen ^ data).popcount();
+            if (flips == 3)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(OnDieEcc, FlipIndexOutOfRangePanics)
+{
+    OnDieEcc ecc(128);
+    const BitVec data(128, 0x00);
+    EXPECT_THROW(ecc.readWithFlips(data, {136}),
+                 rowhammer::util::PanicError);
+}
+
+class TErrorStrength : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TErrorStrength, CorrectsUpToTPerWord)
+{
+    const std::size_t t = GetParam();
+    TErrorEcc ecc(t, 64);
+    // t errors in word 0: fully corrected.
+    std::vector<std::size_t> errors;
+    for (std::size_t i = 0; i < t; ++i)
+        errors.push_back(i);
+    EXPECT_TRUE(ecc.fullyCorrects(errors));
+    // t+1 errors in word 1: all pass through.
+    std::vector<std::size_t> too_many;
+    for (std::size_t i = 0; i <= t; ++i)
+        too_many.push_back(64 + i);
+    EXPECT_EQ(ecc.surviveErrors(too_many).size(), t + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, TErrorStrength,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(TError, MixedWords)
+{
+    TErrorEcc ecc(1, 64);
+    // Word 0 has one error (corrected), word 2 has two (survive).
+    const std::vector<std::size_t> errors{5, 130, 140};
+    const auto survivors = ecc.surviveErrors(errors);
+    ASSERT_EQ(survivors.size(), 2u);
+    EXPECT_EQ(survivors[0], 130u);
+    EXPECT_EQ(survivors[1], 140u);
+}
+
+TEST(TError, ZeroStrengthPassesEverything)
+{
+    TErrorEcc ecc(0, 64);
+    const std::vector<std::size_t> errors{1, 2, 3};
+    EXPECT_EQ(ecc.surviveErrors(errors).size(), 3u);
+    EXPECT_TRUE(ecc.fullyCorrects({}));
+}
+
+} // namespace

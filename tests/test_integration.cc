@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cross-module integration tests: the command-level SoftMC path against
+ * the analytic fault-model path, population-level HCfirst reproduction,
+ * and an end-to-end miniature of the paper's mitigation evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charlib/analyses.hh"
+#include "charlib/hcfirst.hh"
+#include "core/experiment.hh"
+#include "fault/population.hh"
+#include "softmc/chip_tester.hh"
+
+namespace
+{
+
+using namespace rowhammer;
+
+fault::ChipGeometry
+smallGeometry()
+{
+    fault::ChipGeometry g;
+    g.banks = 2;
+    g.rows = 512;
+    g.rowDataBits = 8192;
+    return g;
+}
+
+TEST(Integration, TesterAndModelPathsAgree)
+{
+    // The command-level (SoftMC) path and the analytic path must find
+    // the same flips for the same chip, pattern, and hammer count.
+    fault::ChipSpec spec =
+        fault::configFor(fault::TypeNode::DDR4New, fault::Manufacturer::A);
+    spec.weakDensityAt150k = 2e-3;
+    spec.thresholdWidth = 1e-4; // Sharp thresholds: determinism.
+
+    fault::ChipModel model_a(spec, 5000, 99, smallGeometry());
+    fault::ChipModel model_b(spec, 5000, 99, smallGeometry());
+
+    util::Rng rng_a(7);
+    util::Rng rng_b(7);
+
+    softmc::ChipTester tester(model_a);
+    const auto via_tester =
+        tester.runHammerTest(0, 100, 100000, spec.worstPattern, rng_a);
+    const auto via_model = model_b.hammerDoubleSided(
+        0, 100, 100000, spec.worstPattern, rng_b);
+
+    EXPECT_EQ(via_tester.flips, via_model);
+    EXPECT_FALSE(via_model.empty());
+}
+
+class Table4Reproduction
+    : public ::testing::TestWithParam<
+          std::tuple<fault::TypeNode, fault::Manufacturer, double>>
+{
+};
+
+TEST_P(Table4Reproduction, MinHcFirstMeasured)
+{
+    const auto [tn, mfr, expected] = GetParam();
+    // The weakest chip of the weakest module group carries the Table 4
+    // minimum; measure it with the HCfirst search.
+    const auto chips = fault::sampleConfigChips(tn, mfr, 2024, 2);
+    ASSERT_FALSE(chips.empty());
+
+    double measured_min = 1e18;
+    util::Rng rng(11);
+    for (const auto &chip : chips) {
+        if (!chip.rowHammerable)
+            continue;
+        fault::ChipModel model = chip.makeModel(smallGeometry());
+        charlib::HcFirstOptions options;
+        options.sampleRows = 6;
+        const auto hc = charlib::findHcFirst(model, options, rng);
+        if (hc)
+            measured_min =
+                std::min(measured_min, static_cast<double>(*hc));
+    }
+    ASSERT_LT(measured_min, 1e18) << "no RowHammerable chip measured";
+    EXPECT_NEAR(measured_min, expected, 0.10 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Table4Reproduction,
+    ::testing::Values(
+        std::make_tuple(fault::TypeNode::DDR4New,
+                        fault::Manufacturer::A, 10000.0),
+        std::make_tuple(fault::TypeNode::LPDDR4_1y,
+                        fault::Manufacturer::A, 4800.0),
+        std::make_tuple(fault::TypeNode::LPDDR4_1y,
+                        fault::Manufacturer::C, 9600.0),
+        std::make_tuple(fault::TypeNode::DDR3New,
+                        fault::Manufacturer::B, 22400.0)));
+
+TEST(Integration, NewerNodesMoreVulnerable)
+{
+    // Observation 10: HCfirst decreases from old to new nodes. Compare
+    // the configuration minima end to end through the population layer.
+    auto min_of = [](fault::TypeNode tn, fault::Manufacturer mfr) {
+        double best = 1e18;
+        for (const auto &chip :
+             fault::sampleConfigChips(tn, mfr, 7, 4)) {
+            if (chip.rowHammerable)
+                best = std::min(best, chip.hcFirst);
+        }
+        return best;
+    };
+    EXPECT_LT(min_of(fault::TypeNode::DDR4New, fault::Manufacturer::A),
+              min_of(fault::TypeNode::DDR4Old, fault::Manufacturer::A));
+    EXPECT_LT(min_of(fault::TypeNode::LPDDR4_1y, fault::Manufacturer::A),
+              min_of(fault::TypeNode::LPDDR4_1x, fault::Manufacturer::A));
+    EXPECT_LT(min_of(fault::TypeNode::DDR3New, fault::Manufacturer::B),
+              min_of(fault::TypeNode::DDR3Old, fault::Manufacturer::B));
+}
+
+TEST(Integration, SpatialBlastRadiusGrowsWithDensity)
+{
+    // Observation 6: newer LPDDR4 nodes flip rows farther away.
+    util::Rng rng(13);
+    fault::ChipSpec lp1y =
+        fault::configFor(fault::TypeNode::LPDDR4_1y,
+                         fault::Manufacturer::A);
+    lp1y.weakDensityAt150k = 2e-3;
+    fault::ChipModel chip_1y(lp1y, 4800, 5, smallGeometry());
+    const auto dist_1y =
+        charlib::spatialDistribution(chip_1y, 120000, 128, rng);
+
+    fault::ChipSpec ddr4 =
+        fault::configFor(fault::TypeNode::DDR4New,
+                         fault::Manufacturer::A);
+    ddr4.weakDensityAt150k = 2e-3;
+    fault::ChipModel chip_d4(ddr4, 10000, 5, smallGeometry());
+    const auto dist_d4 =
+        charlib::spatialDistribution(chip_d4, 120000, 128, rng);
+
+    EXPECT_GT(dist_1y.at(4) + dist_1y.at(-4), 0.0);
+    EXPECT_EQ(dist_d4.at(4) + dist_d4.at(-4), 0.0);
+}
+
+TEST(Integration, MitigationSweepShapesHold)
+{
+    // Miniature Figure 10: at fixed workload, overhead ordering must be
+    // Ideal <= TWiCe-ideal <= PARA at a low HCfirst.
+    core::ExperimentConfig config;
+    config.system.cores = 2;
+    config.system.llcBytes = 1 * 1024 * 1024;
+    config.instructionsPerCore = 8000;
+    config.warmupInstructions = 1000;
+    config.mixCount = 1;
+    core::ExperimentRunner runner(config);
+
+    const double hc = 512.0;
+    const auto ideal = runner.runMix(0, mitigation::Kind::Ideal, hc);
+    const auto twice_ideal =
+        runner.runMix(0, mitigation::Kind::TWiCeIdeal, hc);
+    const auto para = runner.runMix(0, mitigation::Kind::PARA, hc);
+    ASSERT_TRUE(ideal && twice_ideal && para);
+
+    EXPECT_GE(ideal->normalizedPerformance,
+              twice_ideal->normalizedPerformance - 0.02);
+    EXPECT_GE(twice_ideal->normalizedPerformance,
+              para->normalizedPerformance - 0.02);
+    EXPECT_LE(ideal->bandwidthOverheadPercent,
+              para->bandwidthOverheadPercent);
+}
+
+TEST(Integration, ProHitAndMrLocAtPublishedPoint)
+{
+    core::ExperimentConfig config;
+    config.system.cores = 2;
+    config.system.llcBytes = 1 * 1024 * 1024;
+    config.instructionsPerCore = 6000;
+    config.warmupInstructions = 500;
+    config.mixCount = 1;
+    core::ExperimentRunner runner(config);
+
+    const auto prohit =
+        runner.runMix(0, mitigation::Kind::ProHIT, 2000.0);
+    const auto mrloc = runner.runMix(0, mitigation::Kind::MRLoc, 2000.0);
+    ASSERT_TRUE(prohit && mrloc);
+    // Paper: both achieve ~95-100% normalized performance at 2k.
+    EXPECT_GT(prohit->normalizedPerformance, 0.85);
+    EXPECT_GT(mrloc->normalizedPerformance, 0.85);
+}
+
+} // namespace

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the six RowHammer mitigation mechanisms and their scaling
+ * behaviour (Section 6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+#include "util/logging.hh"
+#include "mitigation/factory.hh"
+#include "mitigation/ideal.hh"
+#include "mitigation/increfresh.hh"
+#include "mitigation/mrloc.hh"
+#include "mitigation/para.hh"
+#include "mitigation/profile_guided.hh"
+#include "mitigation/prohit.hh"
+#include "mitigation/twice.hh"
+
+namespace
+{
+
+using namespace rowhammer;
+using namespace rowhammer::mitigation;
+
+const dram::TimingSpec kTiming = dram::ddr4_2400();
+
+TEST(Para, ProbabilityIncreasesAsChipsWeaken)
+{
+    double prev = 0.0;
+    for (double hc : {100000.0, 10000.0, 1000.0, 128.0}) {
+        const double p = Para::solveProbability(hc, kTiming, 1e-15);
+        EXPECT_GT(p, prev);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+}
+
+TEST(Para, ProbabilityTinyForRobustChips)
+{
+    const double p = Para::solveProbability(100000.0, kTiming, 1e-15);
+    EXPECT_LT(p, 0.002);
+    EXPECT_GT(p, 0.0);
+}
+
+TEST(Para, MeetsBerTarget)
+{
+    // Check the defining inequality: windows/hour * (1-p)^HC <= target.
+    for (double hc : {2000.0, 50000.0}) {
+        const double p = Para::solveProbability(hc, kTiming, 1e-15);
+        const double trc_s = kTiming.toNs(kTiming.tRC) * 1e-9;
+        const double windows = 3600.0 / (trc_s * hc);
+        const double fail = windows * std::pow(1.0 - p, hc);
+        EXPECT_LE(fail, 1e-15 * 1.01);
+    }
+}
+
+TEST(Para, EmitsNeighborsAtExpectedRate)
+{
+    Para para(1000.0, kTiming, 42);
+    const double p = para.probability();
+    std::vector<VictimRef> out;
+    const int acts = 20000;
+    for (int i = 0; i < acts; ++i)
+        para.onActivate(0, 100, i, out);
+    const double rate = static_cast<double>(out.size()) / acts;
+    EXPECT_NEAR(rate, 2.0 * p, 0.5 * p + 0.01);
+    for (const auto &v : out)
+        EXPECT_TRUE(v.row == 99 || v.row == 101);
+}
+
+TEST(IncRefresh, MultiplierFollowsFormula)
+{
+    const IncreasedRefreshRate mech(64000.0, kTiming);
+    const double expected =
+        static_cast<double>(kTiming.refreshWindowCycles()) /
+        (64000.0 * kTiming.tRC);
+    EXPECT_NEAR(mech.refreshRateMultiplier(), expected, 1e-9);
+}
+
+TEST(IncRefresh, InfeasibleAtLowHcFirst)
+{
+    EXPECT_TRUE(IncreasedRefreshRate(150000.0, kTiming).feasible());
+    // Section 6.1: the mechanism inherently cannot scale to low HCfirst;
+    // at 4.8k (today's worst chip) refresh alone would saturate DRAM.
+    EXPECT_FALSE(IncreasedRefreshRate(4800.0, kTiming).feasible());
+    EXPECT_FALSE(IncreasedRefreshRate(128.0, kTiming).feasible());
+}
+
+TEST(IncRefresh, NeverBelowBaselineRate)
+{
+    const IncreasedRefreshRate mech(1e9, kTiming);
+    EXPECT_DOUBLE_EQ(mech.refreshRateMultiplier(), 1.0);
+}
+
+TEST(TWiCe, RefreshesVictimAtThreshold)
+{
+    TWiCe twice(40000.0, kTiming, false);
+    EXPECT_DOUBLE_EQ(twice.rowHammerThreshold(), 10000.0);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 9999; ++i)
+        twice.onActivate(0, 100, i, out);
+    EXPECT_TRUE(out.empty());
+    twice.onActivate(0, 100, 9999, out);
+    // Both neighbors cross the threshold on the 10000th activation.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].row, 99);
+    EXPECT_EQ(out[1].row, 101);
+}
+
+TEST(TWiCe, CounterResetsAfterRefresh)
+{
+    TWiCe twice(40000.0, kTiming, false);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 10000; ++i)
+        twice.onActivate(0, 100, i, out);
+    ASSERT_EQ(out.size(), 2u);
+    out.clear();
+    // Another 9999 activations must not trigger again.
+    for (int i = 0; i < 9999; ++i)
+        twice.onActivate(0, 100, i, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TWiCe, PruningDropsColdEntries)
+{
+    TWiCe twice(160000.0, kTiming, false);
+    std::vector<VictimRef> out;
+    // One activation of a row: both neighbors enter the table.
+    twice.onActivate(0, 100, 0, out);
+    EXPECT_EQ(twice.tableSize(), 2u);
+    // After a few refresh intervals with no further activity, the
+    // entries' rate falls below the pruning threshold.
+    for (int i = 0; i < 4; ++i)
+        twice.onRefresh(static_cast<std::uint64_t>(i), 2, out);
+    EXPECT_EQ(twice.tableSize(), 0u);
+}
+
+TEST(TWiCe, HotEntriesSurvivePruning)
+{
+    TWiCe twice(160000.0, kTiming, false);
+    std::vector<VictimRef> out;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 2000; ++i)
+            twice.onActivate(0, 100, i, out);
+        twice.onRefresh(static_cast<std::uint64_t>(round), 2, out);
+    }
+    EXPECT_EQ(twice.tableSize(), 2u);
+}
+
+TEST(TWiCe, FeasibilityBoundary)
+{
+    // tRH below refreshes-per-window (~8192) is unimplementable:
+    // HCfirst < ~32k fails, TWiCe-ideal lifts the restriction.
+    EXPECT_TRUE(TWiCe(40000.0, kTiming, false).feasible());
+    EXPECT_FALSE(TWiCe(20000.0, kTiming, false).feasible());
+    EXPECT_TRUE(TWiCe(20000.0, kTiming, true).feasible());
+    EXPECT_TRUE(TWiCe(128.0, kTiming, true).feasible());
+}
+
+TEST(Ideal, RefreshesJustBeforeThreshold)
+{
+    IdealRefresh ideal(1000.0, 16384);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 998; ++i)
+        ideal.onActivate(0, 100, i, out);
+    EXPECT_TRUE(out.empty());
+    ideal.onActivate(0, 100, 998, out);
+    ASSERT_EQ(out.size(), 2u); // Both neighbors at HCfirst - 1.
+}
+
+TEST(Ideal, AutoRefreshRotationClearsCounters)
+{
+    IdealRefresh ideal(1000.0, 8);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 500; ++i)
+        ideal.onActivate(0, 4, i, out);
+    EXPECT_EQ(ideal.trackedRows(), 2u);
+    // Advance the rotation across all 8 rows.
+    ideal.onRefresh(0, 8, out);
+    EXPECT_EQ(ideal.trackedRows(), 0u);
+    // Counters restart: another 998 activations stay silent.
+    for (int i = 0; i < 998; ++i)
+        ideal.onActivate(0, 4, i, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Ideal, EdgeRowsIgnored)
+{
+    IdealRefresh ideal(10.0, 64);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 100; ++i)
+        ideal.onActivate(0, 0, i, out); // Neighbor -1 is off-array.
+    for (const auto &v : out)
+        EXPECT_EQ(v.row, 1);
+}
+
+TEST(ProHit, TracksAndRefreshesHotVictims)
+{
+    ProHit prohit(7);
+    std::vector<VictimRef> out;
+    // Hammer one row hard: its neighbors should reach the hot table.
+    for (int i = 0; i < 5000; ++i)
+        prohit.onActivate(0, 100, i, out);
+    EXPECT_TRUE(out.empty()); // ProHIT refreshes only on REF.
+    EXPECT_GT(prohit.hotSize(), 0u);
+
+    prohit.onRefresh(0, 2, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].row == 99 || out[0].row == 101);
+}
+
+TEST(ProHit, TableSizesBounded)
+{
+    ProHit prohit(8);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 20000; ++i)
+        prohit.onActivate(0, i % 500, i, out);
+    EXPECT_LE(prohit.hotSize(), 4u);
+    EXPECT_LE(prohit.coldSize(), 5u);
+}
+
+TEST(MrLoc, RecencyRaisesProbability)
+{
+    MrLoc mrloc(9);
+    EXPECT_GT(mrloc.probabilityForGap(1.0),
+              mrloc.probabilityForGap(1000.0));
+}
+
+TEST(MrLoc, HammeredRowEventuallyRefreshed)
+{
+    MrLoc mrloc(10);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 4000 && out.empty(); ++i)
+        mrloc.onActivate(0, 100, i, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_TRUE(out[0].row == 99 || out[0].row == 101);
+}
+
+TEST(MrLoc, QuietTrafficRarelyRefreshes)
+{
+    MrLoc mrloc(11);
+    std::vector<VictimRef> out;
+    // Scattered accesses with no locality.
+    for (int i = 0; i < 4000; ++i)
+        mrloc.onActivate(0, (i * 37) % 8192, i, out);
+    EXPECT_LT(out.size(), 40u);
+}
+
+TEST(Factory, AllKindsConstructible)
+{
+    for (Kind kind : allKinds()) {
+        const auto mech =
+            makeMitigation(kind, 50000.0, kTiming, 16384, 3);
+        ASSERT_NE(mech, nullptr);
+        EXPECT_FALSE(mech->name().empty());
+        EXPECT_EQ(mech->name(), toString(kind));
+    }
+}
+
+TEST(Factory, EvaluatedAtRules)
+{
+    // ProHIT / MRLoc: only at the published HCfirst = 2000 point.
+    EXPECT_TRUE(evaluatedAt(Kind::ProHIT, 2000.0, kTiming));
+    EXPECT_FALSE(evaluatedAt(Kind::ProHIT, 4800.0, kTiming));
+    EXPECT_TRUE(evaluatedAt(Kind::MRLoc, 2000.0, kTiming));
+    EXPECT_FALSE(evaluatedAt(Kind::MRLoc, 1024.0, kTiming));
+    // TWiCe: HCfirst >= 32k only; ideal variant everywhere.
+    EXPECT_TRUE(evaluatedAt(Kind::TWiCe, 40000.0, kTiming));
+    EXPECT_FALSE(evaluatedAt(Kind::TWiCe, 4800.0, kTiming));
+    EXPECT_TRUE(evaluatedAt(Kind::TWiCeIdeal, 128.0, kTiming));
+    // PARA and Ideal scale everywhere.
+    EXPECT_TRUE(evaluatedAt(Kind::PARA, 64.0, kTiming));
+    EXPECT_TRUE(evaluatedAt(Kind::Ideal, 64.0, kTiming));
+}
+
+
+TEST(ProfileGuided, OnlyProfiledRowsTracked)
+{
+    std::vector<RowProfileEntry> profile{{0, 100, 500.0}};
+    ProfileGuidedRefresh mech(profile, 16384);
+    EXPECT_EQ(mech.profiledRows(), 1u);
+    std::vector<VictimRef> out;
+    // Hammering far from the profiled row: never triggers, no state.
+    for (int i = 0; i < 5000; ++i)
+        mech.onActivate(0, 5000, i, out);
+    EXPECT_TRUE(out.empty());
+    // Hammering adjacent to the profiled row triggers at its threshold.
+    for (int i = 0; i < 499; ++i)
+        mech.onActivate(0, 101, i, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].row, 100);
+}
+
+TEST(ProfileGuided, PerRowThresholdsIndependent)
+{
+    std::vector<RowProfileEntry> profile{{0, 100, 100.0},
+                                         {0, 200, 1000.0}};
+    ProfileGuidedRefresh mech(profile, 16384);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 99; ++i) {
+        mech.onActivate(0, 101, i, out);
+        mech.onActivate(0, 201, i, out);
+    }
+    // Only the weaker profiled row has fired so far.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].row, 100);
+}
+
+TEST(ProfileGuided, RefreshRotationClearsCounters)
+{
+    std::vector<RowProfileEntry> profile{{0, 4, 100.0}};
+    ProfileGuidedRefresh mech(profile, 8);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 50; ++i)
+        mech.onActivate(0, 3, i, out);
+    mech.onRefresh(0, 8, out); // Full rotation restores every row.
+    for (int i = 0; i < 98; ++i)
+        mech.onActivate(0, 3, i, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ProfileGuided, InvalidProfileRejected)
+{
+    std::vector<RowProfileEntry> bad{{0, 1, 0.5}};
+    EXPECT_THROW(ProfileGuidedRefresh(bad, 64),
+                 rowhammer::util::FatalError);
+    EXPECT_THROW(ProfileGuidedRefresh({}, 0),
+                 rowhammer::util::FatalError);
+}
+
+} // namespace

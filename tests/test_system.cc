@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the full-system model (cores + LLC + controller) and the
+ * weighted-speedup experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+
+namespace
+{
+
+using namespace rowhammer;
+using core::ExperimentConfig;
+using core::ExperimentRunner;
+using core::System;
+using core::SystemConfig;
+
+SystemConfig
+tinyConfig(int cores)
+{
+    SystemConfig config;
+    config.cores = cores;
+    config.llcBytes = 1 * 1024 * 1024;
+    return config;
+}
+
+workload::AppProfile
+tinyApp(int core, double apki = 60.0, double cold = 0.5)
+{
+    workload::AppProfile app;
+    app.accessesPerKiloInst = apki;
+    app.coldFraction = cold;
+    app.coldBytes = 64LL * 1024 * 1024;
+    app.hotBytes = 64 * 1024;
+    app.baseAddr = static_cast<std::uint64_t>(core) * 64LL * 1024 * 1024;
+    return app;
+}
+
+TEST(System, SingleCoreRuns)
+{
+    System system(tinyConfig(1), {tinyApp(0)}, 1);
+    const auto result = system.run(20000, 2000);
+    ASSERT_EQ(result.coreStats.size(), 1u);
+    EXPECT_GE(result.coreStats[0].retired, 20000);
+    EXPECT_GT(result.coreStats[0].ipc(), 0.05);
+    EXPECT_LE(result.coreStats[0].ipc(), 4.0);
+    EXPECT_GT(result.memStats.readsServed, 0);
+    EXPECT_GT(result.llcStats.misses, 0);
+}
+
+TEST(System, MemoryBoundSlowerThanComputeBound)
+{
+    System heavy(tinyConfig(1), {tinyApp(0, 150.0, 0.9)}, 2);
+    System light(tinyConfig(1), {tinyApp(0, 5.0, 0.1)}, 2);
+    const double ipc_heavy = heavy.run(20000).coreStats[0].ipc();
+    const double ipc_light = light.run(20000).coreStats[0].ipc();
+    EXPECT_GT(ipc_light, 2.0 * ipc_heavy);
+}
+
+TEST(System, EightCoreContentionReducesPerCoreIpc)
+{
+    System solo(tinyConfig(1), {tinyApp(0, 100.0, 0.7)}, 3);
+    const double alone = solo.run(15000).coreStats[0].ipc();
+
+    std::vector<workload::AppProfile> apps;
+    for (int c = 0; c < 8; ++c)
+        apps.push_back(tinyApp(c, 100.0, 0.7));
+    System shared(tinyConfig(8), apps, 3);
+    const auto result = shared.run(15000);
+    EXPECT_LT(result.coreStats[0].ipc(), alone);
+}
+
+TEST(System, MitigationOverheadSlowsSystem)
+{
+    std::vector<workload::AppProfile> apps;
+    for (int c = 0; c < 4; ++c)
+        apps.push_back(tinyApp(c, 120.0, 0.8));
+
+    SystemConfig config = tinyConfig(4);
+    mitigation::NoMitigation none;
+    System baseline(config, apps, 4);
+    baseline.setMitigation(&none);
+    const auto base = baseline.run(15000, 1000);
+
+    // PARA at an extremely vulnerable HCfirst refreshes neighbours on a
+    // third of activations: visible slowdown.
+    auto para = mitigation::makeMitigation(
+        mitigation::Kind::PARA, 128.0, config.timing,
+        config.organization.rows, 5);
+    System mitigated(config, apps, 4);
+    mitigated.setMitigation(para.get());
+    const auto with = mitigated.run(15000, 1000);
+
+    EXPECT_GT(with.memStats.mitigationRefreshes, 0);
+    EXPECT_GT(with.memStats.bandwidthOverheadPercent(), 1.0);
+    EXPECT_LT(with.ipcSum(), base.ipcSum());
+}
+
+TEST(System, MpkiTracksProfiles)
+{
+    std::vector<workload::AppProfile> apps{tinyApp(0, 80.0, 0.5)};
+    System system(tinyConfig(1), apps, 6);
+    const auto result = system.run(30000, 5000);
+    // Expected LLC MPKI ~ apki * coldFraction = 40 (hot-set accesses
+    // mostly hit; streaming conflict misses add some on top).
+    EXPECT_GT(result.mpki(), 30.0);
+    EXPECT_LT(result.mpki(), 70.0);
+}
+
+TEST(System, AppCountMustMatchCores)
+{
+    EXPECT_THROW(System(tinyConfig(2), {tinyApp(0)}, 1),
+                 util::FatalError);
+}
+
+TEST(Experiment, BaselineNormalizedToOne)
+{
+    ExperimentConfig config;
+    config.system = tinyConfig(2);
+    config.system.cores = 2;
+    config.instructionsPerCore = 8000;
+    config.warmupInstructions = 1000;
+    config.mixCount = 1;
+    ExperimentRunner runner(config);
+
+    // A mechanism with no effect: normalized performance ~ 1.
+    const auto outcome =
+        runner.runMix(0, mitigation::Kind::Ideal, 200000.0);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_NEAR(outcome->normalizedPerformance, 1.0, 0.05);
+    EXPECT_LT(outcome->bandwidthOverheadPercent, 0.5);
+}
+
+TEST(Experiment, ParaDegradesWithVulnerability)
+{
+    ExperimentConfig config;
+    config.system = tinyConfig(2);
+    config.system.cores = 2;
+    config.instructionsPerCore = 8000;
+    config.warmupInstructions = 1000;
+    config.mixCount = 1;
+    ExperimentRunner runner(config);
+
+    const auto strong = runner.runMix(0, mitigation::Kind::PARA,
+                                      100000.0);
+    const auto weak = runner.runMix(0, mitigation::Kind::PARA, 256.0);
+    ASSERT_TRUE(strong.has_value());
+    ASSERT_TRUE(weak.has_value());
+    EXPECT_GT(strong->normalizedPerformance,
+              weak->normalizedPerformance);
+    EXPECT_GT(weak->bandwidthOverheadPercent,
+              strong->bandwidthOverheadPercent);
+}
+
+TEST(Experiment, UnevaluableCombinationsReturnNull)
+{
+    ExperimentConfig config;
+    config.system = tinyConfig(2);
+    config.system.cores = 2;
+    config.instructionsPerCore = 2000;
+    config.mixCount = 1;
+    config.warmupInstructions = 0;
+    ExperimentRunner runner(config);
+    EXPECT_FALSE(
+        runner.runMix(0, mitigation::Kind::ProHIT, 4800.0).has_value());
+    EXPECT_FALSE(
+        runner.runMix(0, mitigation::Kind::TWiCe, 4800.0).has_value());
+}
+
+} // namespace

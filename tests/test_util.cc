@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for rowhammer::util: RNG streams and distributions,
+ * statistics accumulators, histograms, bit vectors, tables, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bitvec.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace rowhammer::util;
+
+TEST(Rng, DeterministicStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBoundsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 10);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 10u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 10;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue)
+{
+    Rng rng(11);
+    EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(13);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += rng.bernoulli(0.25);
+    EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(17);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalPositive)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.exponential(2.0));
+    EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+    Rng rng(29);
+    RunningStat small;
+    RunningStat large;
+    for (int i = 0; i < 20000; ++i) {
+        small.add(static_cast<double>(rng.poisson(2.5)));
+        large.add(static_cast<double>(rng.poisson(80.0)));
+    }
+    EXPECT_NEAR(small.mean(), 2.5, 0.1);
+    EXPECT_NEAR(large.mean(), 80.0, 1.0);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(31);
+    Rng child1 = parent.split(1);
+    Rng child2 = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += child1() == child2() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, InvalidArgumentsPanic)
+{
+    Rng rng(37);
+    EXPECT_THROW(rng.uniformInt(10, 3), PanicError);
+    EXPECT_THROW(rng.exponential(0.0), PanicError);
+    EXPECT_THROW(rng.weibull(0.0, 1.0), PanicError);
+    EXPECT_THROW(rng.poisson(-1.0), PanicError);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.stddev(), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    Rng rng(41);
+    RunningStat all;
+    RunningStat part1;
+    RunningStat part2;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 1.5);
+        all.add(x);
+        (i % 2 ? part1 : part2).add(x);
+    }
+    part1.merge(part2);
+    EXPECT_EQ(part1.count(), all.count());
+    EXPECT_NEAR(part1.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(part1.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(Boxplot, QuartilesAndWhiskers)
+{
+    std::vector<double> data;
+    for (int i = 1; i <= 100; ++i)
+        data.push_back(static_cast<double>(i));
+    data.push_back(1000.0); // Outlier.
+    const BoxplotSummary s = summarize(data);
+    EXPECT_EQ(s.count, 101u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 1000.0);
+    EXPECT_NEAR(s.median, 51.0, 1.0);
+    EXPECT_EQ(s.outliers.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.outliers[0], 1000.0);
+    EXPECT_LE(s.whiskerHigh, s.q3 + 1.5 * s.iqr());
+}
+
+TEST(Boxplot, EmptySample)
+{
+    const BoxplotSummary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Quantile, Interpolation)
+{
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.5), 2.5);
+    EXPECT_THROW(quantileSorted({}, 0.5), PanicError);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // Underflow -> bin 0.
+    h.add(0.0);
+    h.add(3.9);
+    h.add(9.99);
+    h.add(12.0); // Overflow -> last bin.
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_FALSE(v.get(129));
+    v.set(129, true);
+    EXPECT_TRUE(v.get(129));
+    v.flip(129);
+    EXPECT_FALSE(v.get(129));
+    EXPECT_THROW(v.get(130), PanicError);
+}
+
+TEST(BitVec, FillByte)
+{
+    BitVec v(16, 0x55);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_TRUE(v.get(14));
+    EXPECT_FALSE(v.get(15));
+    EXPECT_EQ(v.popcount(), 8u);
+}
+
+TEST(BitVec, FillByteTailClamped)
+{
+    // Non-multiple-of-64 sizes must not count phantom bits.
+    BitVec v(70, 0xFF);
+    EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVec, XorAndSetBits)
+{
+    BitVec a(100, 0x0F);
+    BitVec b(100, 0xFF);
+    const BitVec d = a ^ b;
+    // 0x0F ^ 0xFF = 0xF0: high nibbles set.
+    for (std::size_t bit : d.setBits())
+        EXPECT_GE(bit % 8, 4u);
+    EXPECT_THROW(a ^ BitVec(99), PanicError);
+}
+
+TEST(Table, RenderAndMismatch)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.rows(), 1u);
+    std::ostringstream oss;
+    t.render(oss);
+    EXPECT_NE(oss.str().find("a"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtKilo(4800), "4.8k");
+    EXPECT_EQ(fmtKilo(157000), "157k");
+    EXPECT_EQ(fmtPercent(0.923), "92.3%");
+}
+
+TEST(Logging, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the 48-mix catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include <set>
+
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace rowhammer::workload;
+
+AppProfile
+testProfile()
+{
+    AppProfile p;
+    p.accessesPerKiloInst = 100.0;
+    p.coldFraction = 0.5;
+    p.writeFraction = 0.25;
+    p.hotBytes = 64 * 1024;
+    p.coldBytes = 16 * 1024 * 1024;
+    return p;
+}
+
+TEST(SyntheticTrace, AccessRateMatchesProfile)
+{
+    SyntheticTrace trace(testProfile(), 1);
+    std::int64_t instructions = 0;
+    const int accesses = 20000;
+    for (int i = 0; i < accesses; ++i) {
+        const auto e = trace.next();
+        instructions += e.bubbles + 1;
+    }
+    const double apki = 1000.0 * accesses /
+        static_cast<double>(instructions);
+    EXPECT_NEAR(apki, 100.0, 5.0);
+}
+
+TEST(SyntheticTrace, WriteFractionMatches)
+{
+    SyntheticTrace trace(testProfile(), 2);
+    int writes = 0;
+    for (int i = 0; i < 20000; ++i)
+        writes += trace.next().write;
+    EXPECT_NEAR(writes / 20000.0, 0.25, 0.02);
+}
+
+TEST(SyntheticTrace, AddressesStayInRegion)
+{
+    AppProfile p = testProfile();
+    p.baseAddr = 1ULL << 30;
+    SyntheticTrace trace(p, 3);
+    for (int i = 0; i < 5000; ++i) {
+        const auto e = trace.next();
+        EXPECT_GE(e.addr, p.baseAddr);
+        EXPECT_LT(e.addr, p.baseAddr +
+                      static_cast<std::uint64_t>(p.coldBytes));
+    }
+}
+
+TEST(SyntheticTrace, StreamingRunsAreSequential)
+{
+    AppProfile p = testProfile();
+    p.coldFraction = 1.0; // Cold stream only.
+    p.streamRunLength = 8;
+    SyntheticTrace trace(p, 4);
+    int sequential = 0;
+    std::uint64_t prev = trace.next().addr;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t addr = trace.next().addr;
+        sequential += addr == prev + 64 ? 1 : 0;
+        prev = addr;
+    }
+    // Within a run of 8, seven steps are sequential.
+    EXPECT_NEAR(sequential / 1000.0, 7.0 / 8.0, 0.05);
+}
+
+TEST(SyntheticTrace, Deterministic)
+{
+    SyntheticTrace a(testProfile(), 5);
+    SyntheticTrace b(testProfile(), 5);
+    for (int i = 0; i < 100; ++i) {
+        const auto ea = a.next();
+        const auto eb = b.next();
+        EXPECT_EQ(ea.addr, eb.addr);
+        EXPECT_EQ(ea.bubbles, eb.bubbles);
+        EXPECT_EQ(ea.write, eb.write);
+    }
+}
+
+TEST(SyntheticTrace, InvalidProfileRejected)
+{
+    AppProfile p = testProfile();
+    p.accessesPerKiloInst = 0.0;
+    EXPECT_THROW(SyntheticTrace(p, 1), rowhammer::util::FatalError);
+    AppProfile q = testProfile();
+    q.coldBytes = q.hotBytes - 1;
+    EXPECT_THROW(SyntheticTrace(q, 1), rowhammer::util::FatalError);
+}
+
+TEST(MixCatalogue, FortyEightMixesOfEightApps)
+{
+    const auto mixes = mixCatalogue(8);
+    ASSERT_EQ(mixes.size(), 48u);
+    std::set<std::string> names;
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.apps.size(), 8u);
+        names.insert(mix.name);
+    }
+    EXPECT_EQ(names.size(), 48u);
+}
+
+TEST(MixCatalogue, SpansPaperMpkiRange)
+{
+    const auto mixes = mixCatalogue(8);
+    double lo = 1e18;
+    double hi = 0.0;
+    for (const auto &mix : mixes) {
+        lo = std::min(lo, mix.expectedMpki());
+        hi = std::max(hi, mix.expectedMpki());
+    }
+    // Section 6.2.1: MPKI ranges from 10 to 740.
+    EXPECT_NEAR(lo, 10.0, 3.0);
+    EXPECT_GT(hi, 500.0);
+    EXPECT_LT(hi, 1000.0);
+}
+
+TEST(MixCatalogue, CoreRegionsDisjoint)
+{
+    const auto mixes = mixCatalogue(8);
+    for (const auto &app_a : mixes[0].apps) {
+        for (const auto &app_b : mixes[0].apps) {
+            if (&app_a == &app_b)
+                continue;
+            const bool overlap =
+                app_a.baseAddr <
+                    app_b.baseAddr +
+                        static_cast<std::uint64_t>(app_b.coldBytes) &&
+                app_b.baseAddr <
+                    app_a.baseAddr +
+                        static_cast<std::uint64_t>(app_a.coldBytes);
+            EXPECT_FALSE(overlap);
+        }
+    }
+}
+
+TEST(MixCatalogue, DeterministicAcrossCalls)
+{
+    const auto a = mixCatalogue(8);
+    const auto b = mixCatalogue(8);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].expectedMpki(), b[i].expectedMpki());
+        for (std::size_t j = 0; j < a[i].apps.size(); ++j) {
+            EXPECT_DOUBLE_EQ(a[i].apps[j].accessesPerKiloInst,
+                             b[i].apps[j].accessesPerKiloInst);
+        }
+    }
+}
+
+} // namespace
