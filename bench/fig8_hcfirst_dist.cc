@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
-#include "charlib/hcfirst.hh"
+#include "charlib/runner.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -24,6 +24,14 @@ main()
 
     const long chips_per_group = bench::envLong("RH_F8_CHIPS", 4);
 
+    // One pool reused across configurations; RH_THREADS=1 reproduces
+    // the serial run bit-for-bit (runner determinism contract).
+    charlib::RunnerOptions runner_options;
+    runner_options.threads =
+        static_cast<int>(bench::envLong("RH_THREADS", 0));
+    runner_options.seed = 31;
+    charlib::PopulationRunner runner(runner_options);
+
     util::TextTable table;
     table.setHeader({"config", "chips", "min", "q1", "median", "q3",
                      "max", "no-flip chips"});
@@ -31,14 +39,12 @@ main()
     for (const auto &[tn, mfr] : bench::allCombinations()) {
         const auto chips = fault::sampleConfigChips(
             tn, mfr, 2020, static_cast<int>(chips_per_group));
-        util::Rng rng(31);
+        charlib::HcFirstOptions options;
+        options.sampleRows = 8;
+        const auto results = runner.measureHcFirst(chips, options);
         std::vector<double> hcs;
         int silent = 0;
-        for (const auto &chip : chips) {
-            fault::ChipModel model = chip.makeModel();
-            charlib::HcFirstOptions options;
-            options.sampleRows = 8;
-            const auto hc = charlib::findHcFirst(model, options, rng);
+        for (const auto &hc : results) {
             if (hc)
                 hcs.push_back(static_cast<double>(*hc) / 1000.0);
             else

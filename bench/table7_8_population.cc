@@ -2,12 +2,17 @@
  * @file
  * Regenerates Appendix Tables 7 and 8: the DDR4 and DDR3 module
  * populations (manufacturer, node generation, dates, speed bins,
- * organization, and per-group minimum HCfirst).
+ * organization, and per-group minimum HCfirst). A "measured" column
+ * re-derives each group's minimum by fanning the Section 5.5 HCfirst
+ * search across sampled chips with the PopulationRunner, validating the
+ * catalogue against the fault model (RH_T78_CHIPS chips per group,
+ * RH_THREADS workers).
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
+#include "charlib/runner.hh"
 #include "util/logging.hh"
 
 using namespace rowhammer;
@@ -17,15 +22,32 @@ namespace
 
 void
 renderPopulation(const std::vector<fault::ModuleGroup> &groups,
-                 const std::string &title)
+                 const std::string &title,
+                 charlib::PopulationRunner &runner, int chips_per_group)
 {
     bench::banner(title);
     util::TextTable table;
     table.setHeader({"Mfr", "node", "modules", "date", "MT/s", "tRC ns",
-                     "GB", "chips", "pins", "min HCfirst"});
+                     "GB", "chips", "pins", "min HCfirst", "measured"});
     int modules = 0;
     int chips = 0;
     for (const auto &g : groups) {
+        std::string measured = "-";
+        if (chips_per_group > 0) {
+            const auto sampled =
+                fault::sampleChips(g, 2020, chips_per_group);
+            charlib::HcFirstOptions options;
+            options.sampleRows = 4;
+            const auto results = runner.measureHcFirst(sampled, options);
+            std::optional<std::int64_t> min;
+            for (const auto &hc : results) {
+                if (hc && (!min || *hc < *min))
+                    min = *hc;
+            }
+            measured = min ? rowhammer::util::fmtKilo(
+                                 static_cast<double>(*min))
+                           : "N/A";
+        }
         table.addRow({toString(g.manufacturer), toString(g.typeNode),
                       g.moduleRange + " (" +
                           std::to_string(g.moduleCount) + ")",
@@ -36,7 +58,8 @@ renderPopulation(const std::vector<fault::ModuleGroup> &groups,
                       "x" + std::to_string(g.pinWidth),
                       g.minHcFirst
                           ? rowhammer::util::fmtKilo(*g.minHcFirst)
-                          : "N/A"});
+                          : "N/A",
+                      measured});
         modules += g.moduleCount;
         chips += g.moduleCount * g.chipsPerModule;
     }
@@ -51,11 +74,23 @@ int
 main()
 {
     util::setVerbose(false);
+
+    const int chips_per_group =
+        static_cast<int>(bench::envLong("RH_T78_CHIPS", 2));
+    charlib::RunnerOptions runner_options;
+    runner_options.threads =
+        static_cast<int>(bench::envLong("RH_THREADS", 0));
+    runner_options.seed = 2020;
+    charlib::PopulationRunner runner(runner_options);
+
     renderPopulation(fault::table8Ddr3Modules(),
-                     "Table 8: DDR3 module population (60 modules)");
+                     "Table 8: DDR3 module population (60 modules)",
+                     runner, chips_per_group);
     renderPopulation(fault::table7Ddr4Modules(),
-                     "Table 7: DDR4 module population (110 modules)");
+                     "Table 7: DDR4 module population (110 modules)",
+                     runner, chips_per_group);
     renderPopulation(fault::lpddr4Modules(),
-                     "LPDDR4 module population (Table 1; 130 modules)");
+                     "LPDDR4 module population (Table 1; 130 modules)",
+                     runner, chips_per_group);
     return 0;
 }

@@ -45,6 +45,16 @@ struct HcFirstOptions
  * result is the minimum across tested victims. The tested set always
  * includes the chip's weakest row, standing in for the paper's full-chip
  * scan (see ChipModel::weakestRow).
+ *
+ * Determinism: the search draws one value from `rng` and derives an
+ * independent probe stream per victim row from it, so every probe is a
+ * pure function of (entry rng state, row, hammer count) — unaffected
+ * by probe order or by unrelated hammers run on the chip beforehand,
+ * and the full search is reproducible from the entry rng state alone.
+ * The per-row binary searches are pruned against the best result found
+ * so far; under the (near-)monotone probe outcomes the shared per-row
+ * stream produces, this pruning does not change the returned minimum
+ * for any row processing order.
  */
 std::optional<std::int64_t> findHcFirst(fault::ChipModel &chip,
                                         const HcFirstOptions &options,

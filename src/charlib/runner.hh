@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parallel population runner: fans per-chip characterization jobs
+ * (HCfirst searches, the Section 5 analyses) across a thread pool, the
+ * way the paper's testing infrastructure characterizes its 1,580-chip
+ * population module by module.
+ *
+ * Determinism contract: each job draws only from an Rng stream derived
+ * from (runner seed, per-chip salt), never from shared state, so a run
+ * is bit-identical for any thread count — `threads = 1` and
+ * `threads = 8` produce the same results in the same (input) order.
+ * Chip-keyed salts additionally make each chip's result independent of
+ * how the population is ordered or subset.
+ */
+
+#ifndef ROWHAMMER_CHARLIB_RUNNER_HH
+#define ROWHAMMER_CHARLIB_RUNNER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "charlib/analyses.hh"
+#include "charlib/hcfirst.hh"
+#include "fault/population.hh"
+#include "util/rng.hh"
+
+namespace rowhammer::charlib
+{
+
+/**
+ * Seed of the independent RNG stream of one population item. splitmix64
+ * finalizer over (base, salt): uncorrelated streams for any salt set,
+ * depending only on the two inputs — never on thread scheduling.
+ */
+std::uint64_t populationStreamSeed(std::uint64_t base, std::uint64_t salt);
+
+/** Configuration of a PopulationRunner. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    int threads = 0;
+    /** Base seed every per-chip stream derives from. */
+    std::uint64_t seed = 2020;
+};
+
+/**
+ * Thread-pool fan-out of per-chip jobs with deterministic results (see
+ * file comment). Workers are started once and reused across calls; the
+ * calling thread joins each batch, so a 1-thread runner costs nothing
+ * over a serial loop.
+ */
+class PopulationRunner
+{
+  public:
+    explicit PopulationRunner(RunnerOptions options = RunnerOptions{});
+    ~PopulationRunner();
+
+    PopulationRunner(const PopulationRunner &) = delete;
+    PopulationRunner &operator=(const PopulationRunner &) = delete;
+
+    /** Pool width (workers; the caller additionally joins batches). */
+    int threadCount() const { return threads_; }
+
+    const RunnerOptions &options() const { return options_; }
+
+    /**
+     * results[i] = fn(i, rng_i) for every i in [0, count). fn must be
+     * safe to call concurrently for distinct i. rng_i is seeded from
+     * (options.seed, salts ? salts[i] : i); pass chip-keyed salts when
+     * results should survive population reordering or subsetting.
+     */
+    template <typename Fn>
+    auto map(std::size_t count, Fn &&fn,
+             const std::vector<std::uint64_t> *salts = nullptr)
+        -> std::vector<decltype(fn(std::size_t{0},
+                                   std::declval<util::Rng &>()))>
+    {
+        using Result =
+            decltype(fn(std::size_t{0}, std::declval<util::Rng &>()));
+        static_assert(!std::is_same_v<Result, bool>,
+                      "map() jobs must not return bool: concurrent "
+                      "writes to std::vector<bool> elements race; "
+                      "return int or a struct instead");
+        std::vector<Result> results(count);
+        dispatch(count, [&](std::size_t i) {
+            util::Rng rng(populationStreamSeed(
+                options_.seed, salts ? (*salts)[i] : i));
+            results[i] = fn(i, rng);
+        });
+        return results;
+    }
+
+    /**
+     * findHcFirst across a chip population; results[i] belongs to
+     * chips[i]. Streams are salted by chip seed, so a chip's measured
+     * HCfirst does not change when the population around it does.
+     */
+    std::vector<std::optional<std::int64_t>>
+    measureHcFirst(const std::vector<fault::ChipInstance> &chips,
+                   const HcFirstOptions &options,
+                   fault::ChipGeometry geometry = fault::ChipGeometry{});
+
+    /** Section 5.2 data-pattern study (Figure 4) across a population. */
+    std::vector<DataPatternStudy>
+    runDataPatternStudies(const std::vector<fault::ChipInstance> &chips,
+                          std::int64_t hc, int iterations, int sample_rows,
+                          fault::ChipGeometry geometry =
+                              fault::ChipGeometry{});
+
+  private:
+    /** Run job(i) for every i in [0, count); blocks until done. */
+    void dispatch(std::size_t count,
+                  const std::function<void(std::size_t)> &job);
+
+    /** Worker main loop: wait for a batch, drain it, repeat. */
+    void workerLoop();
+
+    /** Pull indices off the current batch until it is exhausted. */
+    void drain(const std::function<void(std::size_t)> &job);
+
+    RunnerOptions options_;
+    int threads_ = 1;
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t batchSize_ = 0;
+    std::uint64_t batchGeneration_ = 0;
+    int workersDraining_ = 0;
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+    std::atomic<std::size_t> next_{0};
+};
+
+} // namespace rowhammer::charlib
+
+#endif // ROWHAMMER_CHARLIB_RUNNER_HH

@@ -68,7 +68,7 @@ Device::earliest(Command cmd, const Address &addr, Cycle now) const
         // tFAW: the 4th-most-recent ACT must be at least tFAW old.
         if (r.actWindow.size() >= 4) {
             const Cycle fourth_last =
-                r.actWindow[r.actWindow.size() - 4];
+                r.actWindow.nthOldest(r.actWindow.size() - 4);
             t = std::max(t, fourth_last + timing_.tFAW);
         }
         return t;
@@ -172,9 +172,7 @@ Device::issue(Command cmd, const Address &addr, Cycle at)
         b.nextRdWr = at + timing_.tRCD;
         g.nextAct = std::max(g.nextAct, at + timing_.tRRDL);
         r.nextAct = std::max(r.nextAct, at + timing_.tRRDS);
-        r.actWindow.push_back(at);
-        while (r.actWindow.size() > 8)
-            r.actWindow.pop_front();
+        r.actWindow.push(at);
         ++stats_.acts;
         break;
       }

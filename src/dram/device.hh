@@ -11,8 +11,8 @@
 #ifndef ROWHAMMER_DRAM_DEVICE_HH
 #define ROWHAMMER_DRAM_DEVICE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -104,13 +104,44 @@ class Device
         Cycle nextWr = 0;   // tCCD_L.
     };
 
+    /**
+     * Fixed-capacity ring of the rank's most recent ACT times for tFAW
+     * tracking. Replaces a std::deque: no allocation, and the only query
+     * the timing rules need (the Nth-most-recent ACT) is an index.
+     */
+    struct ActWindow
+    {
+        static constexpr std::size_t capacity = 8;
+
+        std::array<Cycle, capacity> slots{};
+        std::uint8_t head = 0;  ///< Index of the oldest entry.
+        std::uint8_t count = 0; ///< Live entries, <= capacity.
+
+        void push(Cycle at)
+        {
+            slots[(head + count) % capacity] = at;
+            if (count < capacity)
+                ++count;
+            else
+                head = static_cast<std::uint8_t>((head + 1) % capacity);
+        }
+
+        std::size_t size() const { return count; }
+
+        /** The i-th entry counting from the oldest (0-based). */
+        Cycle nthOldest(std::size_t i) const
+        {
+            return slots[(head + i) % capacity];
+        }
+    };
+
     struct RankState
     {
         Cycle nextAct = 0;      // tRRD_S.
         Cycle nextRd = 0;       // tCCD_S / tWTR_S / turnaround.
         Cycle nextWr = 0;       // tCCD_S / turnaround.
         Cycle nextAny = 0;      // tRFC after REF.
-        std::deque<Cycle> actWindow; // Last ACT times for tFAW.
+        ActWindow actWindow;    // Last ACT times for tFAW.
     };
 
     const BankState &bank(const Address &addr) const;

@@ -22,6 +22,18 @@ constexpr long eccCodeBits = 136;
 /** 64-bit-word clustering granularity for non-ECC chips. */
 constexpr long plainWordBits = 64;
 
+/**
+ * Slot hash for the open-addressed weak-cell cache. Keys are dense
+ * (bank * rows + row), so the identity maps sequential rows to
+ * sequential slots — collision-free linear probing at our <= 50% load
+ * without the latency of a mixing hash.
+ */
+std::uint64_t
+hashKey(std::uint64_t x)
+{
+    return x;
+}
+
 std::uint64_t
 mixRow(std::uint64_t seed, int bank, int row)
 {
@@ -40,10 +52,18 @@ mixRow(std::uint64_t seed, int bank, int row)
 double
 polarityFactor(DataPattern dp)
 {
-    const int diff =
-        std::popcount(static_cast<unsigned>(victimByte(dp) ^
-                                            aggressorByte(dp)));
-    return 0.70 + 0.30 * static_cast<double>(diff) / 8.0;
+    static const std::array<double, numDataPatterns> table = [] {
+        std::array<double, numDataPatterns> t{};
+        for (int i = 0; i < numDataPatterns; ++i) {
+            const auto p = static_cast<DataPattern>(i);
+            const int diff = std::popcount(
+                static_cast<unsigned>(victimByte(p) ^ aggressorByte(p)));
+            t[static_cast<std::size_t>(i)] =
+                0.70 + 0.30 * static_cast<double>(diff) / 8.0;
+        }
+        return t;
+    }();
+    return table[static_cast<std::size_t>(dp)];
 }
 
 double
@@ -87,6 +107,15 @@ ChipModel::ChipModel(ChipSpec spec, double chip_hc_first,
         powerLawK_ = 5.0;
     }
 
+    const std::size_t flat_rows = static_cast<std::size_t>(
+        geometry_.banks) * static_cast<std::size_t>(geometry_.rows);
+    actCount_.assign(flat_rows, 0);
+    actEpoch_.assign(flat_rows, 0);
+    refreshBase_.assign(flat_rows, 0.0);
+    refreshEpoch_.assign(flat_rows, 0);
+    cellKeys_.assign(64, 0);
+    cellSlots_.assign(64, 0);
+
     // Deterministic location of the chip's weakest cell; see header.
     util::Rng id_rng(seed_ ^ 0xabcdef12345ULL);
     weakestBank_ = static_cast<int>(
@@ -113,16 +142,16 @@ ChipModel::rowStoredBits() const
     return geometry_.rowDataBits;
 }
 
-std::vector<int>
+AggressorList
 ChipModel::aggressorRows(int victim_row) const
 {
     const int step =
         spec_.rowRemap == RowRemap::PairedWordline ? 2 : 1;
-    std::vector<int> out;
+    AggressorList out;
     if (victim_row - step >= 0)
-        out.push_back(victim_row - step);
+        out.push(victim_row - step);
     if (victim_row + step < geometry_.rows)
-        out.push_back(victim_row + step);
+        out.push(victim_row + step);
     return out;
 }
 
@@ -131,8 +160,13 @@ ChipModel::writePattern(DataPattern dp, int victim_parity)
 {
     pattern_ = dp;
     victimParity_ = victim_parity & 1;
-    activations_.clear();
-    refreshBaseline_.clear();
+    // Epoch bump invalidates every accumulation entry in O(1). On the
+    // (never-in-practice) 2^32 wrap, fall back to a real clear.
+    if (++epoch_ == 0) {
+        std::fill(actEpoch_.begin(), actEpoch_.end(), 0);
+        std::fill(refreshEpoch_.begin(), refreshEpoch_.end(), 0);
+        epoch_ = 1;
+    }
 }
 
 void
@@ -142,13 +176,32 @@ ChipModel::addActivations(int bank, int row, std::int64_t count)
         row >= geometry_.rows) {
         util::panic("ChipModel::addActivations: address out of range");
     }
-    activations_[{bank, physRow(row)}] += count;
+    const std::size_t i = flatIndex(bank, physRow(row));
+    if (actEpoch_[i] != epoch_) {
+        actEpoch_[i] = epoch_;
+        actCount_[i] = count;
+    } else {
+        actCount_[i] += count;
+    }
 }
 
 double
 ChipModel::rawExposure(int bank, int row) const
 {
     const int p = physRow(row);
+
+    // Fast path for the dominant DDR3/DDR4 case: coupling only from the
+    // two adjacent wordlines.
+    if (spec_.maxCouplingDistance == 1) {
+        const std::size_t base = flatIndex(bank, 0);
+        double exposure = 0.0;
+        if (p - 1 >= 0 && actEpoch_[base + p - 1] == epoch_)
+            exposure += 0.5 * static_cast<double>(actCount_[base + p - 1]);
+        if (p + 1 < geometry_.rows && actEpoch_[base + p + 1] == epoch_)
+            exposure += 0.5 * static_cast<double>(actCount_[base + p + 1]);
+        return exposure;
+    }
+
     double exposure = 0.0;
     for (int dist = 1; dist <= spec_.maxCouplingDistance; dist += 2) {
         double coupling = 1.0;
@@ -159,10 +212,13 @@ ChipModel::rawExposure(int bank, int row) const
         if (coupling <= 0.0)
             continue;
         for (int sign : {-1, +1}) {
-            const auto it = activations_.find({bank, p + sign * dist});
-            if (it != activations_.end()) {
+            const int neighbor = p + sign * dist;
+            if (neighbor < 0 || neighbor >= geometry_.rows)
+                continue;
+            const std::size_t i = flatIndex(bank, neighbor);
+            if (actEpoch_[i] == epoch_) {
                 exposure +=
-                    0.5 * coupling * static_cast<double>(it->second);
+                    0.5 * coupling * static_cast<double>(actCount_[i]);
             }
         }
     }
@@ -172,16 +228,18 @@ ChipModel::rawExposure(int bank, int row) const
 void
 ChipModel::refreshRow(int bank, int row)
 {
-    refreshBaseline_[{bank, row}] = rawExposure(bank, row);
+    const std::size_t i = flatIndex(bank, row);
+    refreshBase_[i] = rawExposure(bank, row);
+    refreshEpoch_[i] = epoch_;
 }
 
 double
 ChipModel::exposure(int bank, int row) const
 {
     double e = rawExposure(bank, row);
-    const auto it = refreshBaseline_.find({bank, row});
-    if (it != refreshBaseline_.end())
-        e -= it->second;
+    const std::size_t i = flatIndex(bank, row);
+    if (refreshEpoch_[i] == epoch_)
+        e -= refreshBase_[i];
     return std::max(0.0, e);
 }
 
@@ -218,13 +276,38 @@ ChipModel::sampleCell(util::Rng &rng, long stored_bit,
     return cell;
 }
 
+void
+ChipModel::growCellTable() const
+{
+    const std::size_t capacity = cellKeys_.size() * 2;
+    std::vector<std::uint64_t> keys(capacity, 0);
+    std::vector<std::uint32_t> slots(capacity, 0);
+    for (std::size_t i = 0; i < cellKeys_.size(); ++i) {
+        if (cellKeys_[i] == 0)
+            continue;
+        std::size_t j = hashKey(cellKeys_[i]) & (capacity - 1);
+        while (keys[j] != 0)
+            j = (j + 1) & (capacity - 1);
+        keys[j] = cellKeys_[i];
+        slots[j] = cellSlots_[i];
+    }
+    cellKeys_ = std::move(keys);
+    cellSlots_ = std::move(slots);
+}
+
 const std::vector<ChipModel::WeakCell> &
 ChipModel::weakCells(int bank, int row) const
 {
-    const auto key = std::make_pair(bank, row);
-    auto it = cells_.find(key);
-    if (it != cells_.end())
-        return it->second;
+    // Open-addressed probe; key is flatIndex+1 so 0 marks empty slots.
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(flatIndex(bank, row)) + 1;
+    std::size_t mask = cellKeys_.size() - 1;
+    std::size_t slot = hashKey(key) & mask;
+    while (cellKeys_[slot] != 0) {
+        if (cellKeys_[slot] == key)
+            return cellStore_[cellSlots_[slot]];
+        slot = (slot + 1) & mask;
+    }
 
     util::Rng rng(mixRow(seed_, bank, row));
     std::vector<WeakCell> cells;
@@ -298,9 +381,36 @@ ChipModel::weakCells(int bank, int row) const
         }
     }
 
-    auto [pos, inserted] = cells_.emplace(key, std::move(cells));
-    (void)inserted;
-    return pos->second;
+    if (cellCount_ + 1 > cellKeys_.size() / 2) {
+        growCellTable();
+        mask = cellKeys_.size() - 1;
+        slot = hashKey(key) & mask;
+        while (cellKeys_[slot] != 0)
+            slot = (slot + 1) & mask;
+    }
+    cellStore_.push_back(std::move(cells));
+    cellKeys_[slot] = key;
+    cellSlots_[slot] = static_cast<std::uint32_t>(cellStore_.size() - 1);
+    ++cellCount_;
+    return cellStore_.back();
+}
+
+const util::BitVec &
+ChipModel::dataWord(std::uint8_t fill) const
+{
+    util::BitVec &entry = dataWordCache_[fill];
+    if (entry.size() == 0)
+        entry = util::BitVec(static_cast<std::size_t>(eccDataBits), fill);
+    return entry;
+}
+
+const util::BitVec &
+ChipModel::codeword(std::uint8_t fill) const
+{
+    util::BitVec &entry = codewordCache_[fill];
+    if (entry.size() == 0)
+        entry = onDie_.store(dataWord(fill));
+    return entry;
 }
 
 bool
@@ -309,16 +419,9 @@ ChipModel::storedBitValue(std::uint8_t fill, long stored_bit) const
     if (!spec_.onDieEcc)
         return patternBit(fill, static_cast<std::size_t>(stored_bit));
 
-    // All ECC words of a pattern-filled row are identical; cache the
-    // encoded codeword per fill byte.
-    static thread_local std::map<std::uint8_t, util::BitVec> cache;
-    auto it = cache.find(fill);
-    if (it == cache.end()) {
-        const util::BitVec data(static_cast<std::size_t>(eccDataBits),
-                                fill);
-        it = cache.emplace(fill, onDie_.store(data)).first;
-    }
-    return it->second.get(
+    // All ECC words of a pattern-filled row are identical; read the bit
+    // out of the cached per-fill-byte codeword.
+    return codeword(fill).get(
         static_cast<std::size_t>(stored_bit % eccCodeBits));
 }
 
@@ -326,6 +429,14 @@ std::vector<FlipObservation>
 ChipModel::readRow(int bank, int row, util::Rng &rng) const
 {
     std::vector<FlipObservation> out;
+    readRowInto(bank, row, rng, out);
+    return out;
+}
+
+void
+ChipModel::readRowInto(int bank, int row, util::Rng &rng,
+                       std::vector<FlipObservation> &out) const
+{
     if (bank < 0 || bank >= geometry_.banks || row < 0 ||
         row >= geometry_.rows) {
         util::panic("ChipModel::readRow: address out of range");
@@ -333,12 +444,19 @@ ChipModel::readRow(int bank, int row, util::Rng &rng) const
 
     // An activated row is continuously refreshed: aggressors never show
     // RowHammer flips (Section 5.4).
-    if (activations_.count({bank, physRow(row)}))
-        return out;
+    if (actEpoch_[flatIndex(bank, physRow(row))] == epoch_)
+        return;
+
+    // A row without weak cells cannot flip regardless of exposure; skip
+    // the exposure accounting (and the caller's rng is never touched,
+    // so this cannot perturb any downstream draw).
+    const std::vector<WeakCell> &cells = weakCells(bank, row);
+    if (cells.empty())
+        return;
 
     const double expo = exposure(bank, row);
     if (expo <= 0.0)
-        return out;
+        return;
 
     const std::uint8_t fill = (row & 1) == victimParity_
                                   ? victimByte(pattern_)
@@ -346,9 +464,11 @@ ChipModel::readRow(int bank, int row, util::Rng &rng) const
     const double polarity = polarityFactor(pattern_);
     const int dp_index = static_cast<int>(pattern_);
 
-    // Raw circuit-level flips.
-    std::vector<long> raw;
-    for (const WeakCell &cell : weakCells(bank, row)) {
+    // Raw circuit-level flips (reused scratch keeps this allocation-free
+    // after warm-up).
+    std::vector<long> &raw = rawScratch_;
+    raw.clear();
+    for (const WeakCell &cell : cells) {
         const bool stored = storedBitValue(fill, cell.storedBit);
         if (stored != cell.trueCell)
             continue; // Discharged state: nothing to leak.
@@ -361,23 +481,27 @@ ChipModel::readRow(int bank, int row, util::Rng &rng) const
             raw.push_back(cell.storedBit);
     }
     if (raw.empty())
-        return out;
+        return;
 
     if (!spec_.onDieEcc) {
         for (long bit : raw) {
             const bool stored = storedBitValue(fill, bit);
             out.push_back(FlipObservation{bank, row, bit, stored});
         }
-        return out;
+        return;
     }
 
     // On-die ECC path: decode each affected stored word and report the
-    // post-correction difference from the written data.
+    // post-correction difference from the written data. The per-fill
+    // data word and its encoded codeword are cached; the decode input is
+    // a codeword copy with this word's raw flips applied.
     std::sort(raw.begin(), raw.end());
+    const util::BitVec &data = dataWord(fill);
     std::size_t i = 0;
     while (i < raw.size()) {
         const long word = raw[i] / eccCodeBits;
-        std::vector<std::size_t> in_word;
+        std::vector<std::size_t> &in_word = wordScratch_;
+        in_word.clear();
         while (i < raw.size() && raw[i] / eccCodeBits == word) {
             in_word.push_back(
                 static_cast<std::size_t>(raw[i] % eccCodeBits));
@@ -388,19 +512,18 @@ ChipModel::readRow(int bank, int row, util::Rng &rng) const
         in_word.erase(std::unique(in_word.begin(), in_word.end()),
                       in_word.end());
 
-        const util::BitVec data(static_cast<std::size_t>(eccDataBits),
-                                fill);
-        const util::BitVec observed =
-            onDie_.readWithFlips(data, in_word);
-        const util::BitVec diff = observed ^ data;
-        for (std::size_t bit : diff.setBits()) {
+        util::BitVec stored = codeword(fill);
+        for (std::size_t bit : in_word)
+            stored.flip(bit);
+        util::BitVec diff = onDie_.readWord(stored);
+        diff ^= data;
+        diff.forEachSet([&](std::size_t bit) {
             out.push_back(FlipObservation{
                 bank, row,
                 word * eccDataBits + static_cast<long>(bit),
                 data.get(bit)});
-        }
+        });
     }
-    return out;
 }
 
 std::vector<FlipObservation>
@@ -421,8 +544,7 @@ ChipModel::hammerDoubleSided(int bank, int victim_row, std::int64_t hc,
         const int row = victim_row + off;
         if (row < 0 || row >= geometry_.rows)
             continue;
-        auto flips = readRow(bank, row, rng);
-        out.insert(out.end(), flips.begin(), flips.end());
+        readRowInto(bank, row, rng, out);
     }
     return out;
 }

@@ -25,7 +25,7 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <vector>
 
 #include "ecc/ondie.hh"
@@ -47,6 +47,19 @@ struct FlipObservation
     auto operator<=>(const FlipObservation &) const = default;
 };
 
+/** Fixed-capacity aggressor-row list (at most two rows, no allocation). */
+struct AggressorList
+{
+    std::array<int, 2> rows{};
+    int count = 0;
+
+    const int *begin() const { return rows.data(); }
+    const int *end() const { return rows.data() + count; }
+    std::size_t size() const { return static_cast<std::size_t>(count); }
+    int operator[](std::size_t i) const { return rows[i]; }
+    void push(int row) { rows[static_cast<std::size_t>(count++)] = row; }
+};
+
 /** Geometry of the simulated chip's cell array. */
 struct ChipGeometry
 {
@@ -59,6 +72,10 @@ struct ChipGeometry
  * One simulated DRAM chip. See the file comment for the model; the
  * public interface mirrors what the paper's FPGA platform offers the
  * characterization code: fill with a pattern, hammer, read back flips.
+ *
+ * Instances are not thread-safe (even const reads mutate internal
+ * caches): parallel population runs must give each thread its own
+ * ChipModel (see charlib::PopulationRunner).
  */
 class ChipModel
 {
@@ -92,7 +109,7 @@ class ChipModel
      * the chip's logical-to-physical remapping (Mfr B LPDDR4-1x chips
      * require hammering victim +/- 2; all others victim +/- 1).
      */
-    std::vector<int> aggressorRows(int victim_row) const;
+    AggressorList aggressorRows(int victim_row) const;
 
     /**
      * Fill the whole array with a data pattern. Rows whose parity equals
@@ -121,6 +138,10 @@ class ChipModel
      */
     std::vector<FlipObservation> readRow(int bank, int row,
                                          util::Rng &rng) const;
+
+    /** readRow appending into a caller-owned vector (hot-path variant). */
+    void readRowInto(int bank, int row, util::Rng &rng,
+                     std::vector<FlipObservation> &out) const;
 
     /**
      * Convenience for the common kernel: write pattern, refresh victim,
@@ -164,6 +185,20 @@ class ChipModel
     /** Stored bit value at stored index under the current fill byte. */
     bool storedBitValue(std::uint8_t fill, long stored_bit) const;
 
+    /** Cached plain data word (eccDataBits wide) filled with `fill`. */
+    const util::BitVec &dataWord(std::uint8_t fill) const;
+
+    /** Cached on-die-ECC codeword of a `fill`-filled data word. */
+    const util::BitVec &codeword(std::uint8_t fill) const;
+
+    /** Flat index of a (bank, row) pair. */
+    std::size_t flatIndex(int bank, int row) const
+    {
+        return static_cast<std::size_t>(bank) *
+            static_cast<std::size_t>(geometry_.rows) +
+            static_cast<std::size_t>(row);
+    }
+
     ChipSpec spec_;
     ChipGeometry geometry_;
     double hcFirst_;
@@ -176,12 +211,38 @@ class ChipModel
     DataPattern pattern_ = DataPattern::RowStripe0;
     int victimParity_ = 0;
 
-    /** Activation counts per (bank, physical wordline). */
-    std::map<std::pair<int, int>, std::int64_t> activations_;
-    /** Exposure baselines captured by refreshRow, per (bank, log row). */
-    std::map<std::pair<int, int>, double> refreshBaseline_;
-    /** Cache of sampled weak cells per (bank, logical row). */
-    mutable std::map<std::pair<int, int>, std::vector<WeakCell>> cells_;
+    /**
+     * Flat per-(bank, row) accumulation state. Entries are valid only
+     * when their epoch matches epoch_; writePattern() invalidates the
+     * whole array in O(1) by bumping the epoch instead of clearing.
+     */
+    std::vector<std::int64_t> actCount_;    ///< Per (bank, wordline).
+    std::vector<std::uint32_t> actEpoch_;
+    std::vector<double> refreshBase_;       ///< Per (bank, logical row).
+    std::vector<std::uint32_t> refreshEpoch_;
+    std::uint32_t epoch_ = 1;
+
+    /**
+     * Open-addressed cache of sampled weak-cell rows: cellKeys_ holds
+     * flatIndex+1 (0 = empty slot), cellSlots_ the index of the row's
+     * cells in cellStore_ (a deque so returned references stay stable
+     * across later insertions). Power-of-two capacity, linear probing.
+     */
+    mutable std::vector<std::uint64_t> cellKeys_;
+    mutable std::vector<std::uint32_t> cellSlots_;
+    mutable std::size_t cellCount_ = 0;
+    mutable std::deque<std::vector<WeakCell>> cellStore_;
+
+    /** Per-fill-byte caches of the data word and encoded codeword. */
+    mutable std::array<util::BitVec, 256> dataWordCache_;
+    mutable std::array<util::BitVec, 256> codewordCache_;
+
+    /** Reused readRow scratch; makes the hot path allocation-free. */
+    mutable std::vector<long> rawScratch_;
+    mutable std::vector<std::size_t> wordScratch_;
+
+    /** Grow-and-rehash of the weak-cell cache table. */
+    void growCellTable() const;
 
     /** Raw (pre-baseline) exposure of a row's wordline, in hammers. */
     double rawExposure(int bank, int row) const;

@@ -22,56 +22,6 @@ figure4Patterns()
             DataPattern::Checkered0, DataPattern::Checkered1};
 }
 
-std::uint8_t
-victimByte(DataPattern dp)
-{
-    switch (dp) {
-      case DataPattern::Solid0:
-        return 0x00;
-      case DataPattern::Solid1:
-        return 0xFF;
-      case DataPattern::ColStripe0:
-        return 0x55;
-      case DataPattern::ColStripe1:
-        return 0xAA;
-      case DataPattern::Checkered0:
-        return 0x55;
-      case DataPattern::Checkered1:
-        return 0xAA;
-      case DataPattern::RowStripe0:
-        return 0x00;
-      case DataPattern::RowStripe1:
-        return 0xFF;
-      default:
-        util::panic("victimByte: unknown pattern");
-    }
-}
-
-std::uint8_t
-aggressorByte(DataPattern dp)
-{
-    switch (dp) {
-      case DataPattern::Solid0:
-        return 0x00;
-      case DataPattern::Solid1:
-        return 0xFF;
-      case DataPattern::ColStripe0:
-        return 0x55;
-      case DataPattern::ColStripe1:
-        return 0xAA;
-      case DataPattern::Checkered0:
-        return 0xAA;
-      case DataPattern::Checkered1:
-        return 0x55;
-      case DataPattern::RowStripe0:
-        return 0xFF;
-      case DataPattern::RowStripe1:
-        return 0x00;
-      default:
-        util::panic("aggressorByte: unknown pattern");
-    }
-}
-
 std::string
 toString(DataPattern dp)
 {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/logging.hh"
+
 namespace rowhammer::fault
 {
 
@@ -43,10 +45,26 @@ std::array<DataPattern, numDataPatterns> allDataPatterns();
 std::array<DataPattern, 6> figure4Patterns();
 
 /** Byte written to every byte of the victim row. */
-std::uint8_t victimByte(DataPattern dp);
+inline std::uint8_t
+victimByte(DataPattern dp)
+{
+    constexpr std::array<std::uint8_t, numDataPatterns> table{
+        0x00, 0xFF, 0x55, 0xAA, 0x55, 0xAA, 0x00, 0xFF};
+    if (static_cast<std::size_t>(dp) >= table.size())
+        util::panic("victimByte: unknown pattern");
+    return table[static_cast<std::size_t>(dp)];
+}
 
 /** Byte written to every byte of the aggressor (and alternate) rows. */
-std::uint8_t aggressorByte(DataPattern dp);
+inline std::uint8_t
+aggressorByte(DataPattern dp)
+{
+    constexpr std::array<std::uint8_t, numDataPatterns> table{
+        0x00, 0xFF, 0x55, 0xAA, 0xAA, 0x55, 0xFF, 0x00};
+    if (static_cast<std::size_t>(dp) >= table.size())
+        util::panic("aggressorByte: unknown pattern");
+    return table[static_cast<std::size_t>(dp)];
+}
 
 /** Short name used in figures, e.g. "RS0", "CH1". */
 std::string toString(DataPattern dp);

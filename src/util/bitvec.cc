@@ -77,6 +77,16 @@ BitVec::operator^(const BitVec &other) const
     return out;
 }
 
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    if (bits_ != other.bits_)
+        panic("BitVec::operator^=: size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
 bool
 BitVec::operator==(const BitVec &other) const
 {
@@ -87,14 +97,7 @@ std::vector<std::size_t>
 BitVec::setBits() const
 {
     std::vector<std::size_t> out;
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-        std::uint64_t w = words_[wi];
-        while (w) {
-            const int bit = std::countr_zero(w);
-            out.push_back(wi * 64 + static_cast<std::size_t>(bit));
-            w &= w - 1;
-        }
-    }
+    forEachSet([&](std::size_t bit) { out.push_back(bit); });
     return out;
 }
 

@@ -8,6 +8,7 @@
 #ifndef ROWHAMMER_UTIL_BITVEC_HH
 #define ROWHAMMER_UTIL_BITVEC_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -39,10 +40,31 @@ class BitVec
     /** Bitwise XOR; operands must be the same size. */
     BitVec operator^(const BitVec &other) const;
 
+    /** In-place bitwise XOR; operands must be the same size. */
+    BitVec &operator^=(const BitVec &other);
+
     bool operator==(const BitVec &other) const;
 
     /** Indices of set bits, ascending. */
     std::vector<std::size_t> setBits() const;
+
+    /**
+     * Invoke fn(bit_index) for each set bit, ascending. Word-level
+     * countr_zero scan with no allocation — the hot-path alternative to
+     * setBits().
+     */
+    template <typename Fn>
+    void forEachSet(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w) {
+                fn(wi * 64 +
+                   static_cast<std::size_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
 
     /** Raw packed words (low bit of word 0 is bit 0). */
     const std::vector<std::uint64_t> &words() const { return words_; }

@@ -20,6 +20,13 @@ namespace rowhammer::util
 {
 
 /**
+ * splitmix64 finalizer: a bijective 64-bit mix used to derive
+ * independent stream seeds from structured inputs (chip ids, row
+ * numbers). Shared so every call site uses the same constants.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
  * xoshiro256** pseudo-random generator with distribution helpers.
  *
  * Satisfies UniformRandomBitGenerator so it can also feed <random>

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Golden-seed regression test of the ChipModel fault model. The
+ * expected flip sets below were recorded from the original
+ * std::map-based seed implementation (PR 1); the flat-storage model
+ * must reproduce them flip-for-flip, byte-for-byte, so any change to
+ * cell sampling, RNG consumption order, exposure accounting, or the
+ * on-die-ECC decode path shows up as a diff here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/chip_model.hh"
+#include "fault/chipspec.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace rowhammer::fault;
+using rowhammer::util::Rng;
+
+ChipGeometry
+goldenGeometry()
+{
+    ChipGeometry g;
+    g.banks = 2;
+    g.rows = 1024;
+    g.rowDataBits = 16384;
+    return g;
+}
+
+ChipSpec
+ddr4DenseSpec()
+{
+    ChipSpec s = configFor(TypeNode::DDR4New, Manufacturer::A);
+    s.weakDensityAt150k = 5e-4;
+    return s;
+}
+
+ChipSpec
+lpddr4Spec()
+{
+    ChipSpec s = configFor(TypeNode::LPDDR4_1y, Manufacturer::A);
+    s.weakDensityAt150k = 5e-4;
+    return s;
+}
+
+ChipSpec
+pairedSpec()
+{
+    ChipSpec s = configFor(TypeNode::LPDDR4_1x, Manufacturer::B);
+    s.weakDensityAt150k = 1e-3;
+    return s;
+}
+
+std::vector<FlipObservation>
+hammer(ChipSpec spec, double hc_first, std::uint64_t seed, int bank,
+       int victim, std::int64_t hc, std::uint64_t rng_seed)
+{
+    ChipModel chip(spec, hc_first, seed, goldenGeometry());
+    Rng rng(rng_seed);
+    return chip.hammerDoubleSided(bank, victim, hc, spec.worstPattern,
+                                  rng);
+}
+
+TEST(GoldenSeed, WeakestCellLocationsUnchanged)
+{
+    ChipModel ddr4(ddr4DenseSpec(), 8000, 22, goldenGeometry());
+    EXPECT_EQ(ddr4.weakestBank(), 1);
+    EXPECT_EQ(ddr4.weakestRow(), 104);
+
+    ChipModel lp(lpddr4Spec(), 4800, 51, goldenGeometry());
+    EXPECT_EQ(lp.weakestBank(), 1);
+    EXPECT_EQ(lp.weakestRow(), 620);
+
+    ChipModel paired(pairedSpec(), 16800, 49, goldenGeometry());
+    EXPECT_EQ(paired.weakestBank(), 1);
+    EXPECT_EQ(paired.weakestRow(), 788);
+}
+
+TEST(GoldenSeed, Ddr4DenseHammerFlips)
+{
+    const std::vector<FlipObservation> expected{
+        {0, 300, 5793L, false},
+        {0, 300, 2227L, false},
+    };
+    EXPECT_EQ(hammer(ddr4DenseSpec(), 8000, 22, 0, 300, 120000, 1001),
+              expected);
+}
+
+TEST(GoldenSeed, OnDieEccHammerFlips)
+{
+    const std::vector<FlipObservation> expected{
+        {0, 302, 10551L, true},
+        {0, 302, 10568L, true},
+        {0, 302, 10598L, true},
+    };
+    EXPECT_EQ(hammer(lpddr4Spec(), 4800, 51, 0, 300, 150000, 1002),
+              expected);
+}
+
+TEST(GoldenSeed, PairedWordlineHammerFlips)
+{
+    const std::vector<FlipObservation> expected{
+        {1, 300, 12310L, true},  {1, 300, 12324L, true},
+        {1, 300, 12336L, true},  {1, 300, 13539L, false},
+        {1, 300, 13543L, false}, {1, 301, 7042L, false},
+        {1, 301, 7055L, true},   {1, 301, 7069L, true},
+        {1, 301, 7161L, true},   {1, 301, 9600L, false},
+        {1, 301, 9608L, false},  {1, 301, 9642L, false},
+        {1, 301, 9656L, false},  {1, 301, 15922L, false},
+        {1, 301, 15997L, true},
+    };
+    EXPECT_EQ(hammer(pairedSpec(), 16800, 49, 1, 300, 150000, 1003),
+              expected);
+}
+
+TEST(GoldenSeed, Ddr4PlantedWeakestCells)
+{
+    // Non-ECC chips plant the ground-truth weakest cell at stored bit 4
+    // with ECC-multiplier companions at bits 9 and 14.
+    const std::vector<FlipObservation> expected{
+        {1, 104, 4L, false},
+        {1, 104, 9L, false},
+        {1, 104, 14L, false},
+    };
+    EXPECT_EQ(hammer(ddr4DenseSpec(), 8000, 22, 1, 104, 30000, 1004),
+              expected);
+}
+
+TEST(GoldenSeed, OnDieEccPlantedWeakestCluster)
+{
+    // On-die-ECC chips plant a tight cluster (stored bits 4/5/6); after
+    // SEC decoding the observed flips land on data bits 1/2/3.
+    const std::vector<FlipObservation> expected{
+        {1, 620, 1L, true},
+        {1, 620, 2L, true},
+        {1, 620, 3L, true},
+    };
+    EXPECT_EQ(hammer(lpddr4Spec(), 4800, 51, 1, 620, 9000, 1005),
+              expected);
+}
+
+} // namespace
