@@ -4,10 +4,13 @@
  * system performance (b) of the six RowHammer mitigation mechanisms as
  * chips become more vulnerable (HCfirst from 200k down to 64).
  *
- * Scaling knobs (environment):
+ * Scaling knobs (environment, documented in EXPERIMENTS.md at the
+ * repo root):
  *   RH_F10_MIXES  workload mixes, spread over the MPKI range (default 2)
  *   RH_F10_INSTR  instructions per core per run (default 100000)
  *   RH_F10_CORES  cores (default 8 per Table 6)
+ *   RH_THREADS    sweep worker threads (default: one per hardware
+ *                 thread; results are identical for any value)
  */
 
 #include <iostream>
@@ -32,6 +35,7 @@ main()
     config.warmupInstructions = config.instructionsPerCore / 8;
     config.mixCount =
         static_cast<int>(bench::envLong("RH_F10_MIXES", 2));
+    config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
 
     // Scaled model (see EXPERIMENTS.md): the paper simulates 200M
     // instructions per core against a 2 GB channel, so hot rows

@@ -9,11 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include "charlib/hcfirst.hh"
+#include "core/system.hh"
 #include "dram/device.hh"
 #include "ecc/ondie.hh"
 #include "fault/chip_model.hh"
+#include "mitigation/factory.hh"
 #include "sim/controller.hh"
 #include "util/logging.hh"
+#include "workload/synthetic.hh"
 
 using namespace rowhammer;
 
@@ -59,6 +62,48 @@ BM_ControllerTick(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ControllerTick);
+
+void
+BM_ControllerRowHit(benchmark::State &state)
+{
+    // Row-buffer-hit stream: consecutive cache lines of one row, the
+    // path the FR-FCFS first pass serves without any precharge work.
+    sim::Controller ctrl(dram::table6Organization(), dram::ddr4_2400());
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        if (ctrl.readQueueSpace() > 0) {
+            sim::Request r;
+            r.addr = (line++ % 128) * 64; // Stay inside one row.
+            r.type = sim::Request::Type::Read;
+            ctrl.enqueue(std::move(r));
+        }
+        ctrl.tick();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerRowHit);
+
+void
+BM_ExperimentStep(benchmark::State &state)
+{
+    // One multicore experiment step (device cycle + CPU cycles) with
+    // PARA attached: the unit of work behind every Figure 10 cell.
+    core::SystemConfig config;
+    config.cores = 4;
+    config.organization.rows = 512;
+    config.llcBytes = 1024 * 1024;
+    const auto mixes =
+        workload::mixCatalogue(config.cores, 2 * 1024 * 1024);
+    core::System system(config, mixes[0].apps, 1);
+    auto para = mitigation::makeMitigation(
+        mitigation::Kind::PARA, 4800.0, config.timing,
+        config.organization.rows, 7);
+    system.setMitigation(para.get());
+    for (auto _ : state)
+        system.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExperimentStep);
 
 void
 BM_ChipModelHammer(benchmark::State &state)

@@ -5,6 +5,10 @@
  * way the paper's testing infrastructure characterizes its 1,580-chip
  * population module by module.
  *
+ * The pool machinery itself lives in util::TaskPool (shared with the
+ * Figure 10 mitigation-sweep driver); this wrapper adds the
+ * deterministic per-item RNG streams characterization jobs need.
+ *
  * Determinism contract: each job draws only from an Rng stream derived
  * from (runner seed, per-chip salt), never from shared state, so a run
  * is bit-identical for any thread count — `threads = 1` and
@@ -16,20 +20,15 @@
 #ifndef ROWHAMMER_CHARLIB_RUNNER_HH
 #define ROWHAMMER_CHARLIB_RUNNER_HH
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <functional>
-#include <mutex>
 #include <optional>
-#include <thread>
-#include <type_traits>
 #include <vector>
 
 #include "charlib/analyses.hh"
 #include "charlib/hcfirst.hh"
 #include "fault/population.hh"
 #include "util/rng.hh"
+#include "util/taskpool.hh"
 
 namespace rowhammer::charlib
 {
@@ -60,15 +59,17 @@ class PopulationRunner
 {
   public:
     explicit PopulationRunner(RunnerOptions options = RunnerOptions{});
-    ~PopulationRunner();
 
     PopulationRunner(const PopulationRunner &) = delete;
     PopulationRunner &operator=(const PopulationRunner &) = delete;
 
     /** Pool width (workers; the caller additionally joins batches). */
-    int threadCount() const { return threads_; }
+    int threadCount() const { return pool_.threadCount(); }
 
     const RunnerOptions &options() const { return options_; }
+
+    /** The underlying pool, for jobs that manage their own streams. */
+    util::TaskPool &pool() { return pool_; }
 
     /**
      * results[i] = fn(i, rng_i) for every i in [0, count). fn must be
@@ -82,19 +83,11 @@ class PopulationRunner
         -> std::vector<decltype(fn(std::size_t{0},
                                    std::declval<util::Rng &>()))>
     {
-        using Result =
-            decltype(fn(std::size_t{0}, std::declval<util::Rng &>()));
-        static_assert(!std::is_same_v<Result, bool>,
-                      "map() jobs must not return bool: concurrent "
-                      "writes to std::vector<bool> elements race; "
-                      "return int or a struct instead");
-        std::vector<Result> results(count);
-        dispatch(count, [&](std::size_t i) {
+        return pool_.map(count, [&](std::size_t i) {
             util::Rng rng(populationStreamSeed(
                 options_.seed, salts ? (*salts)[i] : i));
-            results[i] = fn(i, rng);
+            return fn(i, rng);
         });
-        return results;
     }
 
     /**
@@ -115,30 +108,8 @@ class PopulationRunner
                               fault::ChipGeometry{});
 
   private:
-    /** Run job(i) for every i in [0, count); blocks until done. */
-    void dispatch(std::size_t count,
-                  const std::function<void(std::size_t)> &job);
-
-    /** Worker main loop: wait for a batch, drain it, repeat. */
-    void workerLoop();
-
-    /** Pull indices off the current batch until it is exhausted. */
-    void drain(const std::function<void(std::size_t)> &job);
-
     RunnerOptions options_;
-    int threads_ = 1;
-
-    std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    const std::function<void(std::size_t)> *job_ = nullptr;
-    std::size_t batchSize_ = 0;
-    std::uint64_t batchGeneration_ = 0;
-    int workersDraining_ = 0;
-    bool stop_ = false;
-    std::exception_ptr firstError_;
-    std::atomic<std::size_t> next_{0};
+    util::TaskPool pool_;
 };
 
 } // namespace rowhammer::charlib

@@ -16,6 +16,14 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     }
 }
 
+util::TaskPool &
+ExperimentRunner::pool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<util::TaskPool>(config_.threads);
+    return *pool_;
+}
+
 double
 ExperimentRunner::weightedSpeedup(
     const SystemResult &shared, const std::vector<double> &alone_ipc) const
@@ -29,16 +37,13 @@ ExperimentRunner::weightedSpeedup(
     return ws;
 }
 
-const std::vector<double> &
-ExperimentRunner::aloneIpcs(int mix_index)
+ExperimentRunner::MixBaseline
+ExperimentRunner::computeBaseline(int mix_index) const
 {
-    auto it = aloneCache_.find(mix_index);
-    if (it != aloneCache_.end())
-        return it->second;
-
     const workload::Mix &mix =
         mixes_[static_cast<std::size_t>(mix_index)];
-    std::vector<double> alone;
+
+    MixBaseline out;
     for (int core = 0; core < config_.system.cores; ++core) {
         SystemConfig solo = config_.system;
         solo.cores = 1;
@@ -49,21 +54,9 @@ ExperimentRunner::aloneIpcs(int mix_index)
                           static_cast<std::uint64_t>(core));
         const SystemResult result = system.run(
             config_.instructionsPerCore, config_.warmupInstructions);
-        alone.push_back(result.coreStats[0].ipc());
+        out.aloneIpc.push_back(result.coreStats[0].ipc());
     }
-    return aloneCache_.emplace(mix_index, std::move(alone))
-        .first->second;
-}
 
-double
-ExperimentRunner::baselineWs(int mix_index)
-{
-    auto it = baselineCache_.find(mix_index);
-    if (it != baselineCache_.end())
-        return it->second;
-
-    const workload::Mix &mix =
-        mixes_[static_cast<std::size_t>(mix_index)];
     System system(config_.system, mix.apps,
                   config_.seed ^
                       (static_cast<std::uint64_t>(mix_index) << 16));
@@ -71,9 +64,37 @@ ExperimentRunner::baselineWs(int mix_index)
     system.setMitigation(&none);
     const SystemResult result = system.run(config_.instructionsPerCore,
                                            config_.warmupInstructions);
-    baselineMpki_[mix_index] = result.mpki();
-    const double ws = weightedSpeedup(result, aloneIpcs(mix_index));
-    return baselineCache_.emplace(mix_index, ws).first->second;
+    out.baselineWs = weightedSpeedup(result, out.aloneIpc);
+    return out;
+}
+
+const ExperimentRunner::MixBaseline &
+ExperimentRunner::baseline(int mix_index)
+{
+    auto it = baselineCache_.find(mix_index);
+    if (it != baselineCache_.end())
+        return it->second;
+    return baselineCache_.emplace(mix_index, computeBaseline(mix_index))
+        .first->second;
+}
+
+void
+ExperimentRunner::prepare(const std::vector<int> &mix_indices)
+{
+    std::vector<int> missing;
+    for (int mix : mix_indices) {
+        if (!baselineCache_.count(mix))
+            missing.push_back(mix);
+    }
+    if (missing.empty())
+        return;
+
+    auto baselines = pool().map(
+        missing.size(), [&](std::size_t i) {
+            return computeBaseline(missing[i]);
+        });
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        baselineCache_.emplace(missing[i], std::move(baselines[i]));
 }
 
 std::optional<MixOutcome>
@@ -91,6 +112,8 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
         config_.seed ^ 0x1157ULL ^
             static_cast<std::uint64_t>(mix_index));
 
+    const MixBaseline &base = baseline(mix_index);
+
     System system(config_.system, mix.apps,
                   config_.seed ^
                       (static_cast<std::uint64_t>(mix_index) << 16));
@@ -99,11 +122,10 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
                                            config_.warmupInstructions);
 
     MixOutcome outcome;
-    outcome.weightedSpeedup =
-        weightedSpeedup(result, aloneIpcs(mix_index));
-    const double base = baselineWs(mix_index);
-    outcome.normalizedPerformance =
-        base > 0.0 ? outcome.weightedSpeedup / base : 0.0;
+    outcome.weightedSpeedup = weightedSpeedup(result, base.aloneIpc);
+    outcome.normalizedPerformance = base.baselineWs > 0.0
+        ? outcome.weightedSpeedup / base.baselineWs
+        : 0.0;
     outcome.bandwidthOverheadPercent =
         result.memStats.bandwidthOverheadPercent();
     outcome.mpki = result.mpki();
@@ -113,7 +135,25 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
 std::vector<SweepPoint>
 ExperimentRunner::sweep(const std::vector<double> &hc_firsts)
 {
+    std::vector<int> indices = config_.mixIndices;
+    if (indices.empty()) {
+        for (int mix = 0; mix < config_.mixCount; ++mix)
+            indices.push_back(mix);
+    }
+    prepare(indices);
+
+    // Lay the whole (mechanism x HCfirst x mix) grid out flat, run the
+    // cells across the pool, then aggregate in grid order so every
+    // statistic is independent of scheduling.
+    struct Cell
+    {
+        mitigation::Kind kind;
+        double hc;
+        int mix;
+        std::size_t point;
+    };
     std::vector<SweepPoint> points;
+    std::vector<Cell> cells;
     for (mitigation::Kind kind : mitigation::allKinds()) {
         for (double hc : hc_firsts) {
             SweepPoint point;
@@ -122,23 +162,27 @@ ExperimentRunner::sweep(const std::vector<double> &hc_firsts)
             point.evaluated = mitigation::evaluatedAt(
                 kind, hc, config_.system.timing);
             if (point.evaluated) {
-                std::vector<int> indices = config_.mixIndices;
-                if (indices.empty()) {
-                    for (int mix = 0; mix < config_.mixCount; ++mix)
-                        indices.push_back(mix);
-                }
-                for (int mix : indices) {
-                    const auto outcome = runMix(mix, kind, hc);
-                    if (!outcome)
-                        continue;
-                    point.normalizedPerformance.add(
-                        outcome->normalizedPerformance);
-                    point.bandwidthOverheadPercent.add(
-                        outcome->bandwidthOverheadPercent);
-                }
+                for (int mix : indices)
+                    cells.push_back(Cell{kind, hc, mix, points.size()});
             }
             points.push_back(std::move(point));
         }
+    }
+
+    const auto outcomes = pool().map(
+        cells.size(), [&](std::size_t i) {
+            const Cell &cell = cells[i];
+            return runMix(cell.mix, cell.kind, cell.hc);
+        });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!outcomes[i])
+            continue;
+        SweepPoint &point = points[cells[i].point];
+        point.normalizedPerformance.add(
+            outcomes[i]->normalizedPerformance);
+        point.bandwidthOverheadPercent.add(
+            outcomes[i]->bandwidthOverheadPercent);
     }
     return points;
 }

@@ -4,18 +4,25 @@
  * mechanisms across a sweep of HCfirst values, reporting normalized
  * system performance (weighted speedup normalized to the no-mitigation
  * baseline) and DRAM bandwidth overhead.
+ *
+ * sweep() fans the (mechanism x HCfirst x mix) grid across a
+ * util::TaskPool: every cell runs an independent System instance whose
+ * seeds derive only from (config seed, mix index, mechanism), so the
+ * overhead tables are bit-identical for any thread count.
  */
 
 #ifndef ROWHAMMER_CORE_EXPERIMENT_HH
 #define ROWHAMMER_CORE_EXPERIMENT_HH
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/system.hh"
 #include "mitigation/factory.hh"
 #include "util/stats.hh"
+#include "util/taskpool.hh"
 
 namespace rowhammer::core
 {
@@ -57,6 +64,9 @@ struct ExperimentConfig
      *  LLC when shortening runs (see mixCatalogue). */
     std::int64_t coldBytesPerApp = 256LL * 1024 * 1024;
     std::uint64_t seed = 1;
+    /** Worker threads for sweep()/prepare(); 0 = one per hardware
+     *  thread. Results do not depend on this. */
+    int threads = 0;
 };
 
 /**
@@ -71,31 +81,53 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(ExperimentConfig config);
 
+    /**
+     * Precompute (in parallel) the standalone IPCs and no-mitigation
+     * baseline of each listed mix. After prepare(), runMix() is safe to
+     * call concurrently for distinct cells: all shared caches are warm
+     * and only read.
+     */
+    void prepare(const std::vector<int> &mix_indices);
+
     /** Run one mix under a mechanism; nullopt if not evaluable there. */
     std::optional<MixOutcome> runMix(int mix_index, mitigation::Kind kind,
                                      double hc_first);
 
     /**
      * Full Figure 10 sweep: every mechanism at every HCfirst value,
-     * averaged over the configured mixes.
+     * averaged over the configured mixes. The grid cells run across the
+     * task pool; aggregation order (and thus every statistic) is
+     * independent of the thread count.
      */
     std::vector<SweepPoint> sweep(const std::vector<double> &hc_firsts);
 
     const ExperimentConfig &config() const { return config_; }
 
+    /** The pool used by sweep()/prepare(), for callers fanning their
+     *  own cells (created on first use). */
+    util::TaskPool &pool();
+
   private:
+    /** Cached per-mix baseline measurements. */
+    struct MixBaseline
+    {
+        std::vector<double> aloneIpc;
+        double baselineWs = 0.0;
+    };
+
     /** Weighted speedup of a shared run given standalone IPCs. */
     double weightedSpeedup(const SystemResult &shared,
                            const std::vector<double> &alone_ipc) const;
 
-    const std::vector<double> &aloneIpcs(int mix_index);
-    double baselineWs(int mix_index);
+    /** Compute a mix's baseline from scratch (pure; thread-safe). */
+    MixBaseline computeBaseline(int mix_index) const;
+
+    const MixBaseline &baseline(int mix_index);
 
     ExperimentConfig config_;
     std::vector<workload::Mix> mixes_;
-    std::map<int, std::vector<double>> aloneCache_;
-    std::map<int, double> baselineCache_;
-    std::map<int, double> baselineMpki_;
+    std::map<int, MixBaseline> baselineCache_;
+    std::unique_ptr<util::TaskPool> pool_;
 };
 
 } // namespace rowhammer::core

@@ -38,6 +38,9 @@ System::System(SystemConfig config,
     if (static_cast<int>(apps.size()) != config_.cores)
         util::fatal("System: one application profile per core required");
 
+    const double device_ghz = 1.0 / config_.timing.tCKns;
+    cpuRatio_ = config_.cpuGhz / device_ghz;
+
     util::Rng seeder(seed);
     mshrInUse_.assign(static_cast<std::size_t>(config_.cores), 0);
     for (int i = 0; i < config_.cores; ++i) {
@@ -142,14 +145,21 @@ System::cpuTick()
         c->tick();
 }
 
+void
+System::step()
+{
+    controller_.tick();
+    cpuBudget_ += cpuRatio_;
+    while (cpuBudget_ >= 1.0) {
+        cpuTick();
+        cpuBudget_ -= 1.0;
+    }
+}
+
 SystemResult
 System::run(std::int64_t instructions_per_core,
             std::int64_t warmup_instructions)
 {
-    // CPU-to-device clock ratio, e.g. 4 GHz vs 1.2 GHz = 10:3.
-    const double device_ghz = 1.0 / config_.timing.tCKns;
-    const double ratio = config_.cpuGhz / device_ghz;
-
     auto all_retired = [&](const std::vector<std::int64_t> &targets) {
         for (std::size_t i = 0; i < cores_.size(); ++i) {
             if (cores_[i]->stats().retired < targets[i])
@@ -159,18 +169,13 @@ System::run(std::int64_t instructions_per_core,
     };
 
     auto run_until = [&](const std::vector<std::int64_t> &targets) {
-        double cpu_budget = 0.0;
+        cpuBudget_ = 0.0;
         // Guard against pathological configurations.
         const std::int64_t max_device_cycles =
             2LL * 1000 * 1000 * 1000;
         std::int64_t start = controller_.now();
         while (!all_retired(targets)) {
-            controller_.tick();
-            cpu_budget += ratio;
-            while (cpu_budget >= 1.0) {
-                cpuTick();
-                cpu_budget -= 1.0;
-            }
+            step();
             if (controller_.now() - start > max_device_cycles) {
                 util::fatal("System::run: simulation did not converge "
                             "(mitigation overhead may be saturating "

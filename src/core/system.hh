@@ -80,6 +80,14 @@ class System
     SystemResult run(std::int64_t instructions_per_core,
                      std::int64_t warmup_instructions = 0);
 
+    /**
+     * Advance one device clock cycle plus the corresponding CPU cycles
+     * (the 4 GHz : device-clock ratio is accumulated fractionally).
+     * run() is a loop over step(); exposed for microbenchmarks and
+     * custom drivers.
+     */
+    void step();
+
   private:
     struct PendingHit
     {
@@ -104,6 +112,10 @@ class System
     std::vector<int> mshrInUse_;
     std::vector<PendingHit> hitQueue_;
     std::int64_t cpuCycle_ = 0;
+    /** CPU-to-device clock ratio, e.g. 4 GHz vs 1.2 GHz = 10:3. */
+    double cpuRatio_ = 1.0;
+    /** Fractional CPU cycles owed to the next step(). */
+    double cpuBudget_ = 0.0;
 };
 
 } // namespace rowhammer::core

@@ -12,6 +12,7 @@ Core::Core(TraceSource &trace, SendFn send, int issue_width,
 {
     if (issue_width <= 0 || window_size <= 0)
         util::fatal("Core: issue width and window size must be positive");
+    window_.resize(static_cast<std::size_t>(window_size));
 }
 
 void
@@ -20,10 +21,10 @@ Core::tick()
     ++stats_.cycles;
 
     // Retire in order, up to the issue width.
-    for (int i = 0; i < issueWidth_ && !window_.empty(); ++i) {
-        if (!window_.front().done)
+    for (int i = 0; i < issueWidth_ && windowCount_ != 0; ++i) {
+        if (!window_[windowHead_].done)
             break;
-        window_.pop_front();
+        windowPop();
         ++stats_.retired;
     }
 
@@ -34,35 +35,30 @@ Core::tick()
             pendingBubbles_ = entry_.bubbles;
             haveEntry_ = true;
         }
+        if (static_cast<int>(windowCount_) >= windowSize_)
+            break;
         if (pendingBubbles_ > 0) {
-            if (static_cast<int>(window_.size()) >= windowSize_)
-                break;
-            window_.push_back(WindowEntry{true});
+            windowPush().done = true;
             --pendingBubbles_;
             continue;
         }
         // The pending memory access.
         if (entry_.write) {
-            if (static_cast<int>(window_.size()) >= windowSize_)
-                break;
             // Posted write: does not block retirement, but must be
             // accepted by the memory system.
             if (!send_(entry_.addr, true, nullptr))
                 break;
-            window_.push_back(WindowEntry{true});
+            windowPush().done = true;
             ++stats_.memWrites;
             haveEntry_ = false;
             continue;
         }
-        if (static_cast<int>(window_.size()) >= windowSize_)
-            break;
-        window_.push_back(WindowEntry{false});
-        // std::deque keeps references to existing elements valid across
-        // push/pop at the ends, so capturing the slot address is safe:
-        // the entry cannot retire (and thus be popped) until done.
-        WindowEntry *slot = &window_.back();
+        // Ring slots never move, so capturing the slot address is
+        // safe: the entry cannot retire (and thus be reused) until
+        // done.
+        WindowEntry *slot = &windowPush();
         if (!send_(entry_.addr, false, [slot] { slot->done = true; })) {
-            window_.pop_back();
+            --windowCount_; // Undo the push; retry next cycle.
             break;
         }
         ++stats_.memReads;

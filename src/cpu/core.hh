@@ -11,8 +11,8 @@
 #define ROWHAMMER_CPU_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 namespace rowhammer::cpu
 {
@@ -86,7 +86,7 @@ class Core
     const CoreStats &stats() const { return stats_; }
 
     /** In-flight window occupancy (tests). */
-    std::size_t windowOccupancy() const { return window_.size(); }
+    std::size_t windowOccupancy() const { return windowCount_; }
 
   private:
     struct WindowEntry
@@ -99,7 +99,28 @@ class Core
     int issueWidth_;
     int windowSize_;
 
-    std::deque<WindowEntry> window_;
+    /**
+     * In-order instruction window as a fixed ring buffer: slots never
+     * move, so completion callbacks can safely capture a slot pointer
+     * for the lifetime of the entry (it cannot retire until done).
+     */
+    std::vector<WindowEntry> window_;
+    std::size_t windowHead_ = 0; ///< Index of the oldest entry.
+    std::size_t windowCount_ = 0;
+
+    WindowEntry &windowPush()
+    {
+        WindowEntry &slot =
+            window_[(windowHead_ + windowCount_++) % window_.size()];
+        slot.done = false;
+        return slot;
+    }
+
+    void windowPop()
+    {
+        windowHead_ = (windowHead_ + 1) % window_.size();
+        --windowCount_;
+    }
     /** Bubbles still to issue before the pending memory access. */
     int pendingBubbles_ = 0;
     bool haveEntry_ = false;

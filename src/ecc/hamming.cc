@@ -1,5 +1,7 @@
 #include "hamming.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace rowhammer::ecc
@@ -36,6 +38,48 @@ HammingSec::HammingSec(std::size_t data_bits) : dataBits_(data_bits)
         dataPosition_.push_back(pos);
         positionToData_[pos] = static_cast<long>(data_idx++);
     }
+
+    // Data positions are contiguous between consecutive power-of-two
+    // parity positions; record the runs for word-level scatter/gather.
+    for (std::size_t i = 0; i < dataBits_;) {
+        std::size_t len = 1;
+        while (i + len < dataBits_ &&
+               dataPosition_[i + len] == dataPosition_[i] + len) {
+            ++len;
+        }
+        segments_.push_back(Segment{dataPosition_[i] - 1, i, len});
+        i += len;
+    }
+
+    codeWords_ = (codeBits() + 63) / 64;
+    columnMask_.assign(parityBits_ * codeWords_, 0);
+    for (std::size_t i = 0; i < codeBits(); ++i) {
+        const std::size_t pos = i + 1;
+        for (std::size_t j = 0; j < parityBits_; ++j) {
+            if ((pos >> j) & 1) {
+                columnMask_[j * codeWords_ + i / 64] |= 1ULL
+                    << (i % 64);
+            }
+        }
+    }
+}
+
+std::size_t
+HammingSec::syndromeOf(const util::BitVec &codeword) const
+{
+    if (codeword.size() != codeBits())
+        util::panic("HammingSec::syndromeOf: codeword width mismatch");
+    const auto &words = codeword.words();
+    std::size_t syndrome = 0;
+    for (std::size_t j = 0; j < parityBits_; ++j) {
+        const std::uint64_t *mask = &columnMask_[j * codeWords_];
+        std::uint64_t acc = 0;
+        for (std::size_t w = 0; w < codeWords_; ++w)
+            acc ^= words[w] & mask[w];
+        syndrome |= static_cast<std::size_t>(std::popcount(acc) & 1)
+            << j;
+    }
+    return syndrome;
 }
 
 util::BitVec
@@ -46,18 +90,15 @@ HammingSec::encode(const util::BitVec &data) const
 
     // Codeword indexed 0-based as position-1.
     util::BitVec code(codeBits());
-    std::size_t syndrome = 0;
-    for (std::size_t i = 0; i < dataBits_; ++i) {
-        if (data.get(i)) {
-            code.set(dataPosition_[i] - 1, true);
-            syndrome ^= dataPosition_[i];
-        }
-    }
-    // Each parity bit p at position 2^j makes the syndrome zero.
+    for (const Segment &seg : segments_)
+        code.setRange(seg.codeStart, data, seg.dataStart, seg.length);
+    // Each parity bit p at position 2^j makes the syndrome zero; with
+    // parity positions still clear, the data-only syndrome is exactly
+    // the parity pattern to store.
+    const std::size_t syndrome = syndromeOf(code);
     for (std::size_t j = 0; j < parityBits_; ++j) {
-        const std::size_t pos = 1ULL << j;
-        if (syndrome & pos)
-            code.set(pos - 1, true);
+        if ((syndrome >> j) & 1)
+            code.set((1ULL << j) - 1, true);
     }
     return code;
 }
@@ -68,31 +109,25 @@ HammingSec::decode(const util::BitVec &codeword) const
     if (codeword.size() != codeBits())
         util::panic("HammingSec::decode: codeword width mismatch");
 
-    std::size_t syndrome = 0;
-    for (std::size_t pos = 1; pos <= codeBits(); ++pos) {
-        if (codeword.get(pos - 1))
-            syndrome ^= pos;
-    }
+    const std::size_t syndrome = syndromeOf(codeword);
 
     DecodeResult result;
-    util::BitVec corrected = codeword;
+    result.data = extractData(codeword);
     if (syndrome == 0) {
         result.status = DecodeStatus::NoError;
     } else if (syndrome <= codeBits()) {
         // Either a true single-bit error or an aliased multi-bit error:
         // the decoder cannot tell, and flips the indicated position.
-        corrected.flip(syndrome - 1);
         result.status = DecodeStatus::Corrected;
         result.correctedBit = static_cast<long>(syndrome - 1);
+        const long data_idx = positionToData_[syndrome];
+        if (data_idx >= 0)
+            result.data.flip(static_cast<std::size_t>(data_idx));
     } else {
         // Invalid syndrome (points beyond the codeword): detectable but
         // uncorrectable; the word passes through unmodified.
         result.status = DecodeStatus::DetectedOnly;
     }
-
-    result.data = util::BitVec(dataBits_);
-    for (std::size_t i = 0; i < dataBits_; ++i)
-        result.data.set(i, corrected.get(dataPosition_[i] - 1));
     return result;
 }
 
@@ -102,9 +137,46 @@ HammingSec::extractData(const util::BitVec &codeword) const
     if (codeword.size() != codeBits())
         util::panic("HammingSec::extractData: codeword width mismatch");
     util::BitVec data(dataBits_);
-    for (std::size_t i = 0; i < dataBits_; ++i)
-        data.set(i, codeword.get(dataPosition_[i] - 1));
+    for (const Segment &seg : segments_)
+        data.setRange(seg.dataStart, codeword, seg.codeStart, seg.length);
     return data;
+}
+
+DecodeStatus
+HammingSec::decodeWithFlips(util::BitVec &data_io,
+                            const std::vector<std::size_t> &flips,
+                            long *corrected_bit) const
+{
+    if (data_io.size() != dataBits_)
+        util::panic("HammingSec::decodeWithFlips: data width mismatch");
+
+    // Clean codewords have syndrome zero, so the corrupted codeword's
+    // syndrome is the XOR of the flipped positions alone; data-position
+    // flips land directly in the observed data word.
+    std::size_t syndrome = 0;
+    for (std::size_t bit : flips) {
+        if (bit >= codeBits())
+            util::panic("HammingSec::decodeWithFlips: flip index out "
+                        "of range");
+        syndrome ^= bit + 1;
+        const long data_idx = positionToData_[bit + 1];
+        if (data_idx >= 0)
+            data_io.flip(static_cast<std::size_t>(data_idx));
+    }
+
+    if (corrected_bit)
+        *corrected_bit = -1;
+    if (syndrome == 0)
+        return DecodeStatus::NoError;
+    if (syndrome <= codeBits()) {
+        if (corrected_bit)
+            *corrected_bit = static_cast<long>(syndrome - 1);
+        const long data_idx = positionToData_[syndrome];
+        if (data_idx >= 0)
+            data_io.flip(static_cast<std::size_t>(data_idx));
+        return DecodeStatus::Corrected;
+    }
+    return DecodeStatus::DetectedOnly;
 }
 
 SecDed::SecDed(std::size_t data_bits) : inner_(data_bits) {}
@@ -112,15 +184,10 @@ SecDed::SecDed(std::size_t data_bits) : inner_(data_bits) {}
 util::BitVec
 SecDed::encode(const util::BitVec &data) const
 {
-    util::BitVec inner_code = inner_.encode(data);
+    const util::BitVec inner_code = inner_.encode(data);
     util::BitVec code(codeBits());
-    bool parity = false;
-    for (std::size_t i = 0; i < inner_code.size(); ++i) {
-        const bool bit = inner_code.get(i);
-        code.set(i, bit);
-        parity ^= bit;
-    }
-    code.set(codeBits() - 1, parity);
+    code.setRange(0, inner_code, 0, inner_code.size());
+    code.set(codeBits() - 1, inner_code.popcount() % 2 != 0);
     return code;
 }
 
@@ -130,12 +197,9 @@ SecDed::decode(const util::BitVec &codeword) const
     if (codeword.size() != codeBits())
         util::panic("SecDed::decode: codeword width mismatch");
 
-    bool parity = false;
     util::BitVec inner_code(inner_.codeBits());
-    for (std::size_t i = 0; i + 1 < codeBits(); ++i) {
-        inner_code.set(i, codeword.get(i));
-        parity ^= codeword.get(i);
-    }
+    inner_code.setRange(0, codeword, 0, inner_.codeBits());
+    const bool parity = inner_code.popcount() % 2 != 0;
     const bool overall_mismatch = parity != codeword.get(codeBits() - 1);
 
     DecodeResult inner_result = inner_.decode(inner_code);

@@ -11,6 +11,13 @@
  * wrong (a miscorrection), or the syndrome is invalid and the decoder
  * leaves the word alone. Section 5.4 of the paper leans on exactly this
  * undefined behaviour to explain LPDDR4 observations.
+ *
+ * The implementation is word-parallel: the syndrome is a parity-of-AND
+ * reduction of the codeword against precomputed 64-bit column masks
+ * (one mask per syndrome bit), and data bits move between data and
+ * codeword layouts as contiguous bit-range copies (data positions are
+ * contiguous between consecutive power-of-two parity positions), never
+ * bit by bit.
  */
 
 #ifndef ROWHAMMER_ECC_HAMMING_HH
@@ -69,13 +76,57 @@ class HammingSec
     /** Extract the data bits of a codeword without any correction. */
     util::BitVec extractData(const util::BitVec &codeword) const;
 
+    /**
+     * Syndrome of a codeword: XOR of the 1-based positions of its set
+     * bits. 0 = clean; 1..codeBits() = the position a SEC decoder would
+     * flip; above codeBits() = invalid (detectable, uncorrectable).
+     */
+    std::size_t syndromeOf(const util::BitVec &codeword) const;
+
+    /**
+     * Fast path for the fault-model read: decode the codeword
+     * `encode(data) ^ flips` without materializing it. By linearity the
+     * syndrome is just the XOR of the flipped positions (the clean
+     * codeword's syndrome is zero), so the cost is O(|flips|) plus one
+     * data-word copy. `data_io` carries the written data in and the
+     * post-correction data out; behaviour (including miscorrection and
+     * pass-through) is bit-identical to encode + decode.
+     *
+     * @param data_io In: written data. Out: data a reader observes.
+     * @param flips Codeword bit indices with raw errors (duplicates
+     *     cancel, exactly as repeated flip() calls would).
+     * @param corrected_bit Optional out: codeword bit the decoder
+     *     flipped, or -1.
+     * @returns The decode status.
+     */
+    DecodeStatus decodeWithFlips(util::BitVec &data_io,
+                                 const std::vector<std::size_t> &flips,
+                                 long *corrected_bit = nullptr) const;
+
   private:
+    /** A run of data bits occupying contiguous codeword positions. */
+    struct Segment
+    {
+        std::size_t codeStart; ///< 0-based codeword bit index.
+        std::size_t dataStart; ///< Data bit index.
+        std::size_t length;
+    };
+
     std::size_t dataBits_;
     std::size_t parityBits_;
     /** 1-based codeword position of each data bit. */
     std::vector<std::size_t> dataPosition_;
     /** Map 1-based position -> data index, or -1 for parity positions. */
     std::vector<long> positionToData_;
+    /** Contiguous data runs for word-level scatter/gather. */
+    std::vector<Segment> segments_;
+    /**
+     * Column masks: columnMask_[j * codeWords_ + w] selects the codeword
+     * bits (in packed word w) whose 1-based position has bit j set, so
+     * syndrome bit j = parity(popcount of the AND reduction).
+     */
+    std::vector<std::uint64_t> columnMask_;
+    std::size_t codeWords_;
 };
 
 /**

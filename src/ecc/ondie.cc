@@ -5,6 +5,30 @@
 namespace rowhammer::ecc
 {
 
+namespace
+{
+
+void
+recordDecode(DecodeStatus status, OnDieEccStats *stats)
+{
+    if (!stats)
+        return;
+    ++stats->wordsRead;
+    switch (status) {
+      case DecodeStatus::NoError:
+        ++stats->cleanWords;
+        break;
+      case DecodeStatus::Corrected:
+        ++stats->corrections;
+        break;
+      case DecodeStatus::DetectedOnly:
+        ++stats->detectedOnly;
+        break;
+    }
+}
+
+} // namespace
+
 OnDieEcc::OnDieEcc(std::size_t data_bits) : code_(data_bits) {}
 
 util::BitVec
@@ -18,20 +42,7 @@ OnDieEcc::readWord(const util::BitVec &stored_with_flips,
                    OnDieEccStats *stats) const
 {
     DecodeResult result = code_.decode(stored_with_flips);
-    if (stats) {
-        ++stats->wordsRead;
-        switch (result.status) {
-          case DecodeStatus::NoError:
-            ++stats->cleanWords;
-            break;
-          case DecodeStatus::Corrected:
-            ++stats->corrections;
-            break;
-          case DecodeStatus::DetectedOnly:
-            ++stats->detectedOnly;
-            break;
-        }
-    }
+    recordDecode(result.status, stats);
     return result.data;
 }
 
@@ -40,13 +51,17 @@ OnDieEcc::readWithFlips(const util::BitVec &data,
                         const std::vector<std::size_t> &flips,
                         OnDieEccStats *stats) const
 {
-    util::BitVec stored = store(data);
     for (std::size_t bit : flips) {
-        if (bit >= stored.size())
+        if (bit >= code_.codeBits())
             util::panic("OnDieEcc::readWithFlips: flip index out of range");
-        stored.flip(bit);
     }
-    return readWord(stored, stats);
+    // Fast path: never materialize the stored codeword. The syndrome of
+    // encode(data) is zero, so the flips alone determine it (see
+    // HammingSec::decodeWithFlips); behaviour is bit-identical to
+    // store + flip + readWord.
+    util::BitVec observed = data;
+    recordDecode(code_.decodeWithFlips(observed, flips), stats);
+    return observed;
 }
 
 } // namespace rowhammer::ecc

@@ -61,7 +61,10 @@ class OnDieEcc
 
     /**
      * Convenience: apply flips (codeword bit indices) to the encoding of
-     * `data` and decode. This is the common fault-model path.
+     * `data` and decode. This is the common fault-model path, served by
+     * an O(|flips|) shortcut (HammingSec::decodeWithFlips) that never
+     * materializes the stored codeword; behaviour is bit-identical to
+     * store + flip + readWord.
      */
     util::BitVec readWithFlips(const util::BitVec &data,
                                const std::vector<std::size_t> &flips,

@@ -1,6 +1,7 @@
 #include "controller.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -37,12 +38,17 @@ Controller::Controller(dram::Organization org, dram::TimingSpec timing,
     }
     nextRefreshAt_ = timing.tREFI;
     bankLastUse_.assign(static_cast<std::size_t>(org_.totalBanks()), 0);
+    protectedMask_.assign(
+        (static_cast<std::size_t>(org_.totalBanks()) + 63) / 64, 0);
+    openRowByBank_.assign(static_cast<std::size_t>(org_.totalBanks()),
+                          -1);
 }
 
 void
 Controller::setMitigation(mitigation::Mitigation *mechanism)
 {
     mitigation_ = mechanism;
+    wake_ = 0;
 }
 
 int
@@ -63,6 +69,7 @@ Controller::enqueue(Request request)
             return false;
         }
         writeQueue_.push_back(std::move(request));
+        wake_ = 0; // New work invalidates the next-event cache.
         return true;
     }
 
@@ -79,11 +86,13 @@ Controller::enqueue(Request request)
                 completions_.emplace_back(now_ + 1, request.onComplete);
                 std::push_heap(completions_.begin(), completions_.end(),
                                CompletionLater{});
+                wake_ = 0;
             }
             return true;
         }
     }
     readQueue_.push_back(std::move(request));
+    wake_ = 0;
     return true;
 }
 
@@ -94,26 +103,40 @@ Controller::idle() const
         victimQueue_.empty() && completions_.empty();
 }
 
+dram::Address
+Controller::victimAddress(const mitigation::VictimRef &ref) const
+{
+    dram::Address a;
+    a.rank = ref.flatBank / org_.banksPerRank();
+    const int in_rank = ref.flatBank % org_.banksPerRank();
+    a.bankGroup = in_rank / org_.banksPerGroup;
+    a.bank = in_rank % org_.banksPerGroup;
+    a.row = ref.row;
+    a.column = 0;
+    return a;
+}
+
+void
+Controller::queueVictims()
+{
+    for (const auto &v : victimScratch_) {
+        if (v.row < 0 || v.row >= org_.rows)
+            continue; // Tracked neighbor of an edge row.
+        victimQueue_.push_back(VictimRefresh{victimAddress(v), false});
+    }
+    victimScratch_.clear();
+}
+
 void
 Controller::observeActivate(const dram::Address &addr)
 {
     ++stats_.demandActs;
     if (!mitigation_)
         return;
-    std::vector<mitigation::VictimRef> victims;
-    mitigation_->onActivate(org_.flatBank(addr), addr.row, now_, victims);
-    for (const auto &v : victims) {
-        if (v.row < 0 || v.row >= org_.rows)
-            continue;
-        dram::Address a;
-        a.rank = v.flatBank / org_.banksPerRank();
-        const int in_rank = v.flatBank % org_.banksPerRank();
-        a.bankGroup = in_rank / org_.banksPerGroup;
-        a.bank = in_rank % org_.banksPerGroup;
-        a.row = v.row;
-        a.column = 0;
-        victimQueue_.push_back(VictimRefresh{a, false});
-    }
+    victimScratch_.clear();
+    mitigation_->onActivate(org_.flatBank(addr), addr.row, now_,
+                            victimScratch_);
+    queueVictims();
 }
 
 bool
@@ -121,8 +144,6 @@ Controller::tryIssueRefresh()
 {
     const double mult =
         mitigation_ ? mitigation_->refreshRateMultiplier() : 1.0;
-    const auto interval = static_cast<dram::Cycle>(
-        static_cast<double>(device_.timing().tREFI) / std::max(1.0, mult));
 
     if (!refreshPending_ && now_ >= nextRefreshAt_)
         refreshPending_ = true;
@@ -140,6 +161,7 @@ Controller::tryIssueRefresh()
                     continue;
                 if (device_.canIssue(dram::Command::PRE, addr, now_)) {
                     device_.issue(dram::Command::PRE, addr, now_);
+                    acted_ = true;
                     return true;
                 }
                 return true; // Wait for the PRE to become legal.
@@ -152,8 +174,11 @@ Controller::tryIssueRefresh()
         return true; // Banks closed but timing not met yet; keep waiting.
 
     device_.issue(dram::Command::REF, addr, now_);
+    acted_ = true;
     ++stats_.autoRefreshes;
     refreshPending_ = false;
+    const auto interval = static_cast<dram::Cycle>(
+        static_cast<double>(device_.timing().tREFI) / std::max(1.0, mult));
     nextRefreshAt_ = now_ + std::max<dram::Cycle>(interval, 1);
 
     // Auto-refresh time beyond the baseline refresh rate is mitigation
@@ -168,36 +193,44 @@ Controller::tryIssueRefresh()
         const int rows_per_ref = std::max(
             1, org_.rows / std::max(1, device_.timing()
                                            .refreshesPerWindow()));
-        std::vector<mitigation::VictimRef> victims;
-        mitigation_->onRefresh(refIndex_, rows_per_ref, victims);
-        for (const auto &v : victims) {
-            if (v.row < 0 || v.row >= org_.rows)
-                continue; // Tracked neighbor of an edge row.
-            dram::Address a;
-            a.rank = v.flatBank / org_.banksPerRank();
-            const int in_rank = v.flatBank % org_.banksPerRank();
-            a.bankGroup = in_rank / org_.banksPerGroup;
-            a.bank = in_rank % org_.banksPerGroup;
-            a.row = v.row;
-            victimQueue_.push_back(VictimRefresh{a, false});
-        }
+        victimScratch_.clear();
+        mitigation_->onRefresh(refIndex_, rows_per_ref, victimScratch_);
+        queueVictims();
     }
     ++refIndex_;
     return true;
 }
 
-std::vector<bool>
-Controller::protectedBanks(bool include_reads, bool include_writes) const
+void
+Controller::refreshOpenRows() const
 {
-    std::vector<bool> out(static_cast<std::size_t>(org_.totalBanks()),
-                          false);
+    dram::Address addr;
+    for (addr.rank = 0; addr.rank < org_.ranks; ++addr.rank) {
+        for (addr.bankGroup = 0; addr.bankGroup < org_.bankGroups;
+             ++addr.bankGroup) {
+            for (addr.bank = 0; addr.bank < org_.banksPerGroup;
+                 ++addr.bank) {
+                openRowByBank_[static_cast<std::size_t>(
+                    org_.flatBank(addr))] =
+                    device_.isOpen(addr) ? device_.openRow(addr) : -1;
+            }
+        }
+    }
+}
+
+void
+Controller::computeProtectedBanks(bool include_reads,
+                                  bool include_writes) const
+{
+    refreshOpenRows();
+    std::fill(protectedMask_.begin(), protectedMask_.end(), 0);
     auto scan = [&](const std::deque<Request> &queue) {
         for (const Request &request : queue) {
-            if (device_.isOpen(request.decoded) &&
-                device_.openRow(request.decoded) ==
-                    request.decoded.row) {
-                out[static_cast<std::size_t>(
-                    org_.flatBank(request.decoded))] = true;
+            const auto flat = static_cast<std::size_t>(
+                org_.flatBank(request.decoded));
+            if (request.decoded.row >= 0 &&
+                openRowByBank_[flat] == request.decoded.row) {
+                protectedMask_[flat / 64] |= 1ULL << (flat % 64);
             }
         }
     };
@@ -205,7 +238,6 @@ Controller::protectedBanks(bool include_reads, bool include_writes) const
         scan(readQueue_);
     if (include_writes)
         scan(writeQueue_);
-    return out;
 }
 
 bool
@@ -221,21 +253,22 @@ Controller::tryIssueVictimRefresh()
         // Only the actively-served queue can make progress, so only it
         // protects banks.
         if (device_.isOpen(vr.addr) &&
-            device_.openRow(vr.addr) != vr.addr.row &&
-            protectedBanks(!drainingWrites_,
-                           drainingWrites_)[static_cast<std::size_t>(
-                org_.flatBank(vr.addr))]) {
-            return false;
+            device_.openRow(vr.addr) != vr.addr.row) {
+            computeProtectedBanks(!drainingWrites_, drainingWrites_);
+            if (protectedBank(org_.flatBank(vr.addr)))
+                return false;
         }
         if (device_.isOpen(vr.addr) &&
             device_.openRow(vr.addr) == vr.addr.row) {
             // Row already open: opening it refreshed it; just finish.
             victimQueue_.pop_front();
+            acted_ = true;
             return false;
         }
         if (device_.isOpen(vr.addr)) {
             if (device_.canIssue(dram::Command::PRE, vr.addr, now_)) {
                 device_.issue(dram::Command::PRE, vr.addr, now_);
+                acted_ = true;
                 return true;
             }
             return true;
@@ -243,6 +276,7 @@ Controller::tryIssueVictimRefresh()
         if (device_.canIssue(dram::Command::ACT, vr.addr, now_)) {
             device_.issue(dram::Command::ACT, vr.addr, now_);
             vr.activated = true;
+            acted_ = true;
             ++stats_.mitigationRefreshes;
             stats_.mitigationBusyCycles += device_.timing().tRC;
             return true;
@@ -253,6 +287,7 @@ Controller::tryIssueVictimRefresh()
     if (device_.canIssue(dram::Command::PRE, vr.addr, now_)) {
         device_.issue(dram::Command::PRE, vr.addr, now_);
         victimQueue_.pop_front();
+        acted_ = true;
         return true;
     }
     return true;
@@ -315,6 +350,7 @@ Controller::tryCloseIdleRow()
                 }
                 if (device_.canIssue(dram::Command::PRE, addr, now_)) {
                     device_.issue(dram::Command::PRE, addr, now_);
+                    acted_ = true;
                     return true;
                 }
             }
@@ -345,22 +381,21 @@ Controller::tryIssueDemand()
 
     // Banks whose open row still has queued row-hit requests must not
     // be precharged by younger conflicting requests (hit priority).
-    const std::vector<bool> protected_bank =
-        protectedBanks(!serve_writes, serve_writes);
+    computeProtectedBanks(!serve_writes, serve_writes);
 
     // FR-FCFS: oldest row-hit first, then oldest overall.
     for (int pass = 0; pass < 2; ++pass) {
         const bool row_hit_only = pass == 0;
         for (std::size_t i = 0; i < queue.size(); ++i) {
             Request &request = queue[i];
-            const bool row_hit = device_.isOpen(request.decoded) &&
-                device_.openRow(request.decoded) == request.decoded.row;
+            const int flat = org_.flatBank(request.decoded);
+            const int open_row =
+                openRowByBank_[static_cast<std::size_t>(flat)];
+            const bool row_hit = open_row == request.decoded.row;
             // A conflicting request must wait while the open row still
             // serves queued hits.
-            if (!row_hit_only && !row_hit &&
-                device_.isOpen(request.decoded) &&
-                protected_bank[static_cast<std::size_t>(
-                    org_.flatBank(request.decoded))]) {
+            if (!row_hit_only && !row_hit && open_row >= 0 &&
+                protectedBank(flat)) {
                 continue;
             }
             const bool will_finish =
@@ -371,6 +406,7 @@ Controller::tryIssueDemand()
                                  request.decoded, now_);
             if (!issueForRequest(request, row_hit_only))
                 continue;
+            acted_ = true;
             if (will_finish) {
                 if (request.type == Request::Type::Read) {
                     ++stats_.readsServed;
@@ -395,15 +431,16 @@ Controller::tryIssueDemand()
 }
 
 void
-Controller::tick()
+Controller::stepAt()
 {
-    ++stats_.cycles;
+    acted_ = false;
 
     while (!completions_.empty() && completions_.front().first <= now_) {
         std::pop_heap(completions_.begin(), completions_.end(),
                       CompletionLater{});
         auto done = std::move(completions_.back());
         completions_.pop_back();
+        acted_ = true;
         done.second();
     }
 
@@ -415,8 +452,157 @@ Controller::tick()
                 tryCloseIdleRow();
         }
     }
+}
 
-    ++now_;
+dram::Cycle
+Controller::demandWake() const
+{
+    // drainingWrites_ is current here: tryIssueDemand ran (and applied
+    // its hysteresis) in the step that preceded this wake computation.
+    const bool serve_writes =
+        drainingWrites_ || (readQueue_.empty() && !writeQueue_.empty());
+    const auto &queue = serve_writes ? writeQueue_ : readQueue_;
+    dram::Cycle wake = std::numeric_limits<dram::Cycle>::max();
+    if (queue.empty())
+        return wake;
+
+    computeProtectedBanks(!serve_writes, serve_writes);
+    for (const Request &request : queue) {
+        const int flat = org_.flatBank(request.decoded);
+        const int open_row =
+            openRowByBank_[static_cast<std::size_t>(flat)];
+        const bool row_hit = open_row == request.decoded.row;
+        dram::Command cmd;
+        if (row_hit) {
+            cmd = request.type == Request::Type::Read ? dram::Command::RD
+                                                      : dram::Command::WR;
+        } else if (open_row >= 0) {
+            if (protectedBank(flat))
+                continue; // Never attempted while the bank is protected.
+            cmd = dram::Command::PRE;
+        } else {
+            cmd = dram::Command::ACT;
+        }
+        wake = std::min(wake,
+                        device_.earliest(cmd, request.decoded, now_));
+    }
+    return wake;
+}
+
+dram::Cycle
+Controller::closeWake() const
+{
+    dram::Cycle wake = std::numeric_limits<dram::Cycle>::max();
+    dram::Address addr;
+    for (addr.rank = 0; addr.rank < org_.ranks; ++addr.rank) {
+        for (addr.bankGroup = 0; addr.bankGroup < org_.bankGroups;
+             ++addr.bankGroup) {
+            for (addr.bank = 0; addr.bank < org_.banksPerGroup;
+                 ++addr.bank) {
+                if (!device_.isOpen(addr))
+                    continue;
+                const auto flat =
+                    static_cast<std::size_t>(org_.flatBank(addr));
+                const dram::Cycle ready = std::max(
+                    bankLastUse_[flat] + config_.rowIdleCloseCycles,
+                    device_.earliest(dram::Command::PRE, addr, now_));
+                wake = std::min(wake, ready);
+            }
+        }
+    }
+    return wake;
+}
+
+dram::Cycle
+Controller::computeWake() const
+{
+    dram::Cycle wake = std::numeric_limits<dram::Cycle>::max();
+    if (!completions_.empty())
+        wake = std::min(wake, completions_.front().first);
+
+    if (refreshPending_) {
+        // A pending refresh blocks every other command stream; the next
+        // event is the blocked PRE (first open bank, same scan order as
+        // tryIssueRefresh) or, with all banks closed, REF legality.
+        dram::Address addr;
+        for (addr.rank = 0; addr.rank < org_.ranks; ++addr.rank) {
+            for (addr.bankGroup = 0; addr.bankGroup < org_.bankGroups;
+                 ++addr.bankGroup) {
+                for (addr.bank = 0; addr.bank < org_.banksPerGroup;
+                     ++addr.bank) {
+                    if (!device_.isOpen(addr))
+                        continue;
+                    return std::max(
+                        std::min(wake,
+                                 device_.earliest(dram::Command::PRE,
+                                                  addr, now_)),
+                        now_);
+                }
+            }
+        }
+        return std::max(
+            std::min(wake, device_.earliest(dram::Command::REF,
+                                            dram::Address{}, now_)),
+            now_);
+    }
+
+    // The refresh timer is the one event that always recurs.
+    wake = std::min(wake, nextRefreshAt_);
+
+    bool victim_blocks = false;
+    if (!victimQueue_.empty()) {
+        const VictimRefresh &vr = victimQueue_.front();
+        const bool open = device_.isOpen(vr.addr);
+        if (vr.activated) {
+            victim_blocks = true;
+            wake = std::min(wake, device_.earliest(dram::Command::PRE,
+                                                   vr.addr, now_));
+        } else if (open && device_.openRow(vr.addr) != vr.addr.row) {
+            computeProtectedBanks(!drainingWrites_, drainingWrites_);
+            if (protectedBank(org_.flatBank(vr.addr))) {
+                // Deferring to demand traffic; the protection can only
+                // change when something else acts.
+            } else {
+                victim_blocks = true;
+                wake = std::min(wake,
+                                device_.earliest(dram::Command::PRE,
+                                                 vr.addr, now_));
+            }
+        } else if (open) {
+            // Row already open == victim row would have been popped (an
+            // action) by the step that just ran; force a slow re-check.
+            return now_;
+        } else {
+            victim_blocks = true;
+            wake = std::min(wake, device_.earliest(dram::Command::ACT,
+                                                   vr.addr, now_));
+        }
+    }
+
+    if (!victim_blocks) {
+        wake = std::min(wake, demandWake());
+        wake = std::min(wake, closeWake());
+    }
+    return std::max(wake, now_);
+}
+
+void
+Controller::advanceTo(dram::Cycle target)
+{
+    while (now_ < target) {
+        if (config_.eventDriven && now_ < wake_) {
+            // Nothing can change before wake_: advance in one jump.
+            const dram::Cycle jump = std::min(wake_, target);
+            stats_.cycles += jump - now_;
+            now_ = jump;
+            continue;
+        }
+        stepAt();
+        ++stats_.cycles;
+        ++now_;
+        if (config_.eventDriven)
+            wake_ = acted_ ? now_ : computeWake();
+    }
 }
 
 } // namespace rowhammer::sim

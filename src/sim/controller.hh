@@ -5,6 +5,16 @@
  * open-page row policy, watermark-based write draining, periodic
  * auto-refresh, and a mitigation hook that injects targeted victim-row
  * refreshes and scales the refresh rate.
+ *
+ * The engine is event-driven: after a cycle in which no command issued
+ * and no completion fired, the controller computes the earliest future
+ * cycle at which anything can change (next read completion, next
+ * auto-refresh, the blocked command's timing expiry, FR-FCFS candidate
+ * legality, row-idle-close deadline) and advances to it in one jump.
+ * The decision logic itself is unchanged from the per-cycle engine, so
+ * command streams and statistics are cycle-for-cycle identical; set
+ * Config::eventDriven = false to force the reference per-cycle walk
+ * (the golden regression tests pin the two against each other).
  */
 
 #ifndef ROWHAMMER_SIM_CONTROLLER_HH
@@ -50,9 +60,10 @@ struct ControllerStats
 };
 
 /**
- * One-channel memory controller. Drive with tick(), one device clock
- * cycle at a time; enqueue requests any time (enqueue returns false when
- * the target queue is full, modeling back-pressure).
+ * One-channel memory controller. Drive with advanceTo() (event-driven
+ * jumps) or the tick() shim, one device clock cycle at a time; enqueue
+ * requests any time (enqueue returns false when the target queue is
+ * full, modeling back-pressure).
  */
 class Controller
 {
@@ -66,6 +77,9 @@ class Controller
         /** Idle cycles after which an open row is closed (open-page
          *  policy with timeout). */
         int rowIdleCloseCycles = 200;
+        /** Next-event jumps (default). false = reference per-cycle
+         *  engine; identical results, used by the golden tests. */
+        bool eventDriven = true;
     };
 
     Controller(dram::Organization org, dram::TimingSpec timing);
@@ -80,6 +94,8 @@ class Controller
 
     const ControllerStats &stats() const { return stats_; }
     const dram::Device &device() const { return device_; }
+    /** Mutable device access (e.g. to attach a command observer). */
+    dram::Device &device() { return device_; }
     const AddressMapper &mapper() const { return mapper_; }
 
     /** Number of free read-queue entries. */
@@ -91,8 +107,14 @@ class Controller
     /** True iff no demand request is queued or in flight. */
     bool idle() const;
 
-    /** Advance one device clock cycle. */
-    void tick();
+    /** Advance one device clock cycle (shim over advanceTo). */
+    void tick() { advanceTo(now_ + 1); }
+
+    /**
+     * Advance to `target`, jumping over stretches where nothing can
+     * happen. Equivalent to calling tick() target - now() times.
+     */
+    void advanceTo(dram::Cycle target);
 
   private:
     /** A pending mitigation-issued victim-row refresh. */
@@ -102,22 +124,45 @@ class Controller
         bool activated = false;
     };
 
-    /** In-flight read completion. */
-    struct Completion
-    {
-        dram::Cycle at;
-        std::size_t requestIndex;
-
-        bool operator>(const Completion &other) const
-        {
-            return at > other.at;
-        }
-    };
-
     void observeActivate(const dram::Address &addr);
-    /** Banks whose open row still has queued row-hit requests. */
-    std::vector<bool> protectedBanks(bool include_reads,
-                                     bool include_writes) const;
+    /** Queue the mitigation's requested victim refreshes. */
+    void queueVictims();
+    /** Device address of a mitigation victim reference. */
+    dram::Address victimAddress(const mitigation::VictimRef &ref) const;
+
+    /** One cycle of decision logic at now_; sets acted_. */
+    void stepAt();
+    /**
+     * Earliest cycle >= now_ at which any state can change, given that
+     * the cycle just executed did nothing. Mirrors the priority chain
+     * of stepAt() branch for branch.
+     */
+    dram::Cycle computeWake() const;
+    dram::Cycle demandWake() const;
+    dram::Cycle closeWake() const;
+
+    /**
+     * Refresh the per-bank open-row snapshot (openRowByBank_). Valid
+     * until the next command issues; the scheduling passes read it
+     * instead of querying the device once per queue entry.
+     */
+    void refreshOpenRows() const;
+
+    /**
+     * Recompute the protected-bank bitmask: banks whose open row still
+     * has queued row-hit requests (those must not be precharged by
+     * younger conflicting requests or victim refreshes). Also refreshes
+     * the open-row snapshot.
+     */
+    void computeProtectedBanks(bool include_reads,
+                               bool include_writes) const;
+    bool protectedBank(int flat_bank) const
+    {
+        return (protectedMask_[static_cast<std::size_t>(flat_bank) / 64] >>
+                (static_cast<std::size_t>(flat_bank) % 64)) &
+            1ULL;
+    }
+
     bool tryIssueRefresh();
     bool tryCloseIdleRow();
     bool tryIssueVictimRefresh();
@@ -136,6 +181,12 @@ class Controller
     bool refreshPending_ = false;
     bool drainingWrites_ = false;
 
+    /** No state can change before this cycle (event-engine cache);
+     *  invalidated by enqueue() and setMitigation(). */
+    dram::Cycle wake_ = 0;
+    /** Whether the current stepAt() changed any state. */
+    bool acted_ = false;
+
     std::deque<Request> readQueue_;
     std::deque<Request> writeQueue_;
     /** Last cycle each flat bank was used (for idle-row closing). */
@@ -143,6 +194,13 @@ class Controller
     std::deque<VictimRefresh> victimQueue_;
     /** Completions min-heap keyed by cycle. */
     std::vector<std::pair<dram::Cycle, std::function<void()>>> completions_;
+
+    /** Reusable scratch for mitigation victim requests. */
+    std::vector<mitigation::VictimRef> victimScratch_;
+    /** Reusable protected-bank bitmask (one bit per flat bank). */
+    mutable std::vector<std::uint64_t> protectedMask_;
+    /** Open row per flat bank (-1 = closed); see refreshOpenRows(). */
+    mutable std::vector<int> openRowByBank_;
 
     ControllerStats stats_;
 };

@@ -1,5 +1,6 @@
 #include "bitvec.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "logging.hh"
@@ -85,6 +86,51 @@ BitVec::operator^=(const BitVec &other)
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] ^= other.words_[i];
     return *this;
+}
+
+std::uint64_t
+BitVec::getWord(std::size_t i, std::size_t count) const
+{
+    if (count == 0)
+        return 0;
+    if (count > 64 || i >= bits_)
+        panic("BitVec::getWord: range out of bounds");
+    const std::size_t wi = i / 64;
+    const std::size_t shift = i % 64;
+    std::uint64_t out = words_[wi] >> shift;
+    if (shift != 0 && wi + 1 < words_.size())
+        out |= words_[wi + 1] << (64 - shift);
+    if (count < 64)
+        out &= (~0ULL) >> (64 - count);
+    return out;
+}
+
+void
+BitVec::setRange(std::size_t dst_off, const BitVec &src,
+                 std::size_t src_off, std::size_t len)
+{
+    if (dst_off + len > bits_ || src_off + len > src.bits_)
+        panic("BitVec::setRange: range out of bounds");
+    std::size_t done = 0;
+    while (done < len) {
+        const std::size_t chunk = std::min<std::size_t>(64, len - done);
+        const std::uint64_t value = src.getWord(src_off + done, chunk);
+        const std::size_t at = dst_off + done;
+        const std::size_t wi = at / 64;
+        const std::size_t shift = at % 64;
+        const std::uint64_t mask =
+            chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1);
+        words_[wi] = (words_[wi] & ~(mask << shift)) | (value << shift);
+        const std::size_t in_first = 64 - shift;
+        if (chunk > in_first) {
+            const std::size_t rest = chunk - in_first;
+            const std::uint64_t rest_mask =
+                rest == 64 ? ~0ULL : ((1ULL << rest) - 1);
+            words_[wi + 1] = (words_[wi + 1] & ~rest_mask) |
+                (value >> in_first);
+        }
+        done += chunk;
+    }
 }
 
 bool

@@ -43,6 +43,20 @@ class BitVec
     /** In-place bitwise XOR; operands must be the same size. */
     BitVec &operator^=(const BitVec &other);
 
+    /**
+     * Up to 64 bits starting at bit `i`, right-aligned. Bits past the
+     * end read as zero. `count` must be <= 64.
+     */
+    std::uint64_t getWord(std::size_t i, std::size_t count) const;
+
+    /**
+     * Copy `len` bits from `src` starting at `src_off` into this vector
+     * starting at `dst_off`. Word-level shifts; ranges must fit their
+     * respective vectors. Aliasing with `src` is not supported.
+     */
+    void setRange(std::size_t dst_off, const BitVec &src,
+                  std::size_t src_off, std::size_t len);
+
     bool operator==(const BitVec &other) const;
 
     /** Indices of set bits, ascending. */

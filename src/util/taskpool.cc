@@ -1,0 +1,94 @@
+#include "taskpool.hh"
+
+namespace rowhammer::util
+{
+
+TaskPool::TaskPool(int threads)
+{
+    threads_ = threads > 0
+                   ? threads
+                   : static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ < 1)
+        threads_ = 1;
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+TaskPool::drain(const std::function<void(std::size_t)> &job)
+{
+    while (true) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batchSize_)
+            return;
+        try {
+            job(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        wake_.wait(lock,
+                   [&] { return stop_ || batchGeneration_ != seen; });
+        if (stop_)
+            return;
+        seen = batchGeneration_;
+        const auto *job = job_;
+        lock.unlock();
+        drain(*job);
+        lock.lock();
+        if (--workersDraining_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+TaskPool::forEach(std::size_t count,
+                  const std::function<void(std::size_t)> &job)
+{
+    if (count == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        batchSize_ = count;
+        firstError_ = nullptr;
+        next_.store(0, std::memory_order_relaxed);
+        workersDraining_ = threads_;
+        ++batchGeneration_;
+    }
+    wake_.notify_all();
+
+    // The dispatching thread drains alongside the workers, so even a
+    // 1-thread pool overlaps dispatch with execution.
+    drain(job);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return workersDraining_ == 0; });
+    if (firstError_)
+        std::rethrow_exception(firstError_);
+}
+
+} // namespace rowhammer::util

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reusable thread-pool task fan-out shared by the characterization
+ * runner and the Figure 10 mitigation-sweep driver.
+ *
+ * A pool runs index-addressed job batches: forEach(count, job) invokes
+ * job(i) for every i in [0, count) across the workers and the calling
+ * thread, blocking until the batch drains. Jobs must be safe to call
+ * concurrently for distinct indices and must not depend on execution
+ * order; under that contract results are independent of the thread
+ * count, which is what makes the figure benches bit-identical between
+ * serial and parallel runs.
+ */
+
+#ifndef ROWHAMMER_UTIL_TASKPOOL_HH
+#define ROWHAMMER_UTIL_TASKPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rowhammer::util
+{
+
+/**
+ * Fixed-width worker pool with batch semantics. Workers are started
+ * once and reused across batches; the calling thread drains alongside
+ * them, so a 1-thread pool costs nothing over a serial loop.
+ */
+class TaskPool
+{
+  public:
+    /** @param threads Worker count; 0 = one per hardware thread. */
+    explicit TaskPool(int threads = 0);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Pool width (workers; the caller additionally joins batches). */
+    int threadCount() const { return threads_; }
+
+    /**
+     * Run job(i) for every i in [0, count); blocks until the batch is
+     * done. The first exception any job throws is rethrown here (the
+     * remaining indices still run), and the pool survives for the next
+     * batch.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &job);
+
+    /**
+     * results[i] = fn(i) for every i in [0, count). fn must be safe to
+     * call concurrently for distinct i.
+     */
+    template <typename Fn>
+    auto map(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using Result = decltype(fn(std::size_t{0}));
+        static_assert(!std::is_same_v<Result, bool>,
+                      "map() jobs must not return bool: concurrent "
+                      "writes to std::vector<bool> elements race; "
+                      "return int or a struct instead");
+        std::vector<Result> results(count);
+        forEach(count, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    /** Worker main loop: wait for a batch, drain it, repeat. */
+    void workerLoop();
+
+    /** Pull indices off the current batch until it is exhausted. */
+    void drain(const std::function<void(std::size_t)> &job);
+
+    int threads_ = 1;
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t batchSize_ = 0;
+    std::uint64_t batchGeneration_ = 0;
+    int workersDraining_ = 0;
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+    std::atomic<std::size_t> next_{0};
+};
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_TASKPOOL_HH

@@ -202,6 +202,113 @@ TEST(OnDieEcc, MiscorrectionCanAddThirdFlip)
     EXPECT_TRUE(found);
 }
 
+/**
+ * Bit-serial reference decoder: the textbook per-bit loop the word-
+ * parallel implementation replaced. The fuzz tests below pin the fast
+ * paths (column-mask syndrome, segment scatter/gather, the O(k)
+ * readWithFlips shortcut) against it.
+ */
+DecodeResult
+bitSerialDecode(std::size_t data_bits, const BitVec &codeword)
+{
+    std::size_t parity_bits = 0;
+    while ((1ULL << parity_bits) < data_bits + parity_bits + 1)
+        ++parity_bits;
+    const std::size_t code_bits = data_bits + parity_bits;
+
+    std::size_t syndrome = 0;
+    for (std::size_t pos = 1; pos <= code_bits; ++pos) {
+        if (codeword.get(pos - 1))
+            syndrome ^= pos;
+    }
+
+    DecodeResult result;
+    BitVec corrected = codeword;
+    if (syndrome == 0) {
+        result.status = DecodeStatus::NoError;
+    } else if (syndrome <= code_bits) {
+        corrected.flip(syndrome - 1);
+        result.status = DecodeStatus::Corrected;
+        result.correctedBit = static_cast<long>(syndrome - 1);
+    } else {
+        result.status = DecodeStatus::DetectedOnly;
+    }
+
+    result.data = BitVec(data_bits);
+    std::size_t data_idx = 0;
+    for (std::size_t pos = 1; pos <= code_bits; ++pos) {
+        if ((pos & (pos - 1)) == 0)
+            continue; // Parity position.
+        result.data.set(data_idx++, corrected.get(pos - 1));
+    }
+    return result;
+}
+
+class WordParallelFuzz : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(WordParallelFuzz, DecodeMatchesBitSerialUpTo3Flips)
+{
+    const std::size_t width = GetParam();
+    HammingSec code(width);
+    Rng rng(101 + width);
+    for (int trial = 0; trial < 400; ++trial) {
+        const BitVec data = randomData(width, rng);
+        BitVec cw = code.encode(data);
+        // Bit-serial reference on the clean word first.
+        {
+            const DecodeResult ref = bitSerialDecode(width, cw);
+            EXPECT_EQ(ref.status, DecodeStatus::NoError);
+            EXPECT_TRUE(ref.data == data);
+        }
+        const auto nflips = rng.uniformInt(0, 3);
+        std::vector<std::size_t> flips;
+        for (std::uint64_t f = 0; f < nflips; ++f) {
+            flips.push_back(static_cast<std::size_t>(
+                rng.uniformInt(0, code.codeBits() - 1)));
+        }
+        for (std::size_t bit : flips)
+            cw.flip(bit);
+
+        const DecodeResult fast = code.decode(cw);
+        const DecodeResult ref = bitSerialDecode(width, cw);
+        EXPECT_EQ(fast.status, ref.status);
+        EXPECT_EQ(fast.correctedBit, ref.correctedBit);
+        EXPECT_TRUE(fast.data == ref.data);
+    }
+}
+
+TEST_P(WordParallelFuzz, ReadWithFlipsMatchesBitSerialUpTo3Flips)
+{
+    const std::size_t width = GetParam();
+    OnDieEcc ecc(width);
+    HammingSec code(width);
+    Rng rng(202 + width);
+    for (int trial = 0; trial < 400; ++trial) {
+        const BitVec data = randomData(width, rng);
+        const auto nflips = rng.uniformInt(0, 3);
+        std::vector<std::size_t> flips;
+        for (std::uint64_t f = 0; f < nflips; ++f) {
+            flips.push_back(static_cast<std::size_t>(
+                rng.uniformInt(0, ecc.codeBits() - 1)));
+        }
+
+        const BitVec fast = ecc.readWithFlips(data, flips);
+
+        BitVec stored = code.encode(data);
+        for (std::size_t bit : flips)
+            stored.flip(bit);
+        const DecodeResult ref = bitSerialDecode(width, stored);
+        EXPECT_TRUE(fast == ref.data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WordParallelFuzz,
+                         ::testing::Values(std::size_t{16},
+                                           std::size_t{64},
+                                           std::size_t{128}));
+
 TEST(OnDieEcc, FlipIndexOutOfRangePanics)
 {
     OnDieEcc ecc(128);

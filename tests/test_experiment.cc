@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Determinism tests for the parallel mitigation-sweep driver: a
+ * Figure 10-style grid must produce byte-identical overhead tables for
+ * any thread count, and concurrent runMix() calls after prepare() must
+ * match serial ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace rowhammer;
+using core::ExperimentConfig;
+using core::ExperimentRunner;
+using core::SweepPoint;
+
+ExperimentConfig
+smallConfig(int threads)
+{
+    ExperimentConfig config;
+    config.system.cores = 2;
+    config.system.organization.rows = 256;
+    config.system.llcBytes = 256 * 1024;
+    config.coldBytesPerApp = 512 * 1024;
+    config.instructionsPerCore = 4000;
+    config.warmupInstructions = 500;
+    config.mixCount = 2;
+    config.threads = threads;
+    return config;
+}
+
+/** Render a sweep the way fig10_mitigations does: exact digits. */
+std::string
+renderSweep(const std::vector<SweepPoint> &points)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &p : points) {
+        out << toString(p.kind) << " " << p.hcFirst << " "
+            << p.evaluated << " " << p.normalizedPerformance.count()
+            << " " << p.normalizedPerformance.mean() << " "
+            << p.normalizedPerformance.min() << " "
+            << p.normalizedPerformance.max() << " "
+            << p.bandwidthOverheadPercent.mean() << " "
+            << p.bandwidthOverheadPercent.min() << " "
+            << p.bandwidthOverheadPercent.max() << "\n";
+    }
+    return out.str();
+}
+
+TEST(ExperimentSweep, ThreadCountInvariant)
+{
+    const std::vector<double> hc_firsts{200000, 4800, 2000, 512};
+
+    ExperimentRunner serial(smallConfig(1));
+    ExperimentRunner parallel(smallConfig(4));
+    const auto a = serial.sweep(hc_firsts);
+    const auto b = parallel.sweep(hc_firsts);
+
+    // Byte-identical tables: same cells, same digits, same order.
+    EXPECT_EQ(renderSweep(a), renderSweep(b));
+
+    // The grid must contain real measurements, not just skips.
+    std::size_t measured = 0;
+    for (const auto &p : a)
+        measured += p.normalizedPerformance.count();
+    EXPECT_GT(measured, 0u);
+}
+
+TEST(ExperimentSweep, RepeatedSweepIsStable)
+{
+    // Caches warmed by the first sweep must not change the second.
+    ExperimentRunner runner(smallConfig(2));
+    const std::vector<double> hc_firsts{4800};
+    const auto first = runner.sweep(hc_firsts);
+    const auto second = runner.sweep(hc_firsts);
+    EXPECT_EQ(renderSweep(first), renderSweep(second));
+}
+
+TEST(ExperimentSweep, ConcurrentRunMixMatchesSerial)
+{
+    ExperimentRunner serial(smallConfig(1));
+    ExperimentRunner parallel(smallConfig(4));
+
+    serial.prepare({0});
+    parallel.prepare({0});
+
+    const auto kinds = mitigation::allKinds();
+    std::vector<std::optional<core::MixOutcome>> serial_out;
+    for (auto kind : kinds)
+        serial_out.push_back(serial.runMix(0, kind, 4800.0));
+
+    const auto parallel_out = parallel.pool().map(
+        kinds.size(), [&](std::size_t k) {
+            return parallel.runMix(0, kinds[k], 4800.0);
+        });
+
+    ASSERT_EQ(serial_out.size(), parallel_out.size());
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        ASSERT_EQ(serial_out[k].has_value(),
+                  parallel_out[k].has_value());
+        if (!serial_out[k])
+            continue;
+        EXPECT_EQ(serial_out[k]->weightedSpeedup,
+                  parallel_out[k]->weightedSpeedup);
+        EXPECT_EQ(serial_out[k]->normalizedPerformance,
+                  parallel_out[k]->normalizedPerformance);
+        EXPECT_EQ(serial_out[k]->bandwidthOverheadPercent,
+                  parallel_out[k]->bandwidthOverheadPercent);
+        EXPECT_EQ(serial_out[k]->mpki, parallel_out[k]->mpki);
+    }
+}
+
+} // namespace

@@ -6,13 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/bitvec.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/taskpool.hh"
 
 namespace
 {
@@ -301,6 +304,95 @@ TEST(Logging, FatalAndPanicThrow)
 {
     EXPECT_THROW(fatal("user error"), FatalError);
     EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(BitVec, GetWordAcrossBoundaries)
+{
+    Rng rng(41);
+    BitVec v(200);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v.set(i, rng.bernoulli(0.5));
+    for (std::size_t off : {0u, 1u, 13u, 63u, 64u, 65u, 130u}) {
+        for (std::size_t count : {1u, 7u, 33u, 64u}) {
+            if (off + count > v.size())
+                continue;
+            const std::uint64_t word = v.getWord(off, count);
+            for (std::size_t b = 0; b < count; ++b)
+                EXPECT_EQ((word >> b) & 1, v.get(off + b) ? 1u : 0u);
+            if (count < 64) {
+                EXPECT_EQ(word >> count, 0u);
+            }
+        }
+    }
+    EXPECT_THROW(v.getWord(200, 1), PanicError);
+}
+
+TEST(BitVec, SetRangeMatchesBitwiseCopy)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVec src(150);
+        for (std::size_t i = 0; i < src.size(); ++i)
+            src.set(i, rng.bernoulli(0.5));
+        BitVec dst(170);
+        for (std::size_t i = 0; i < dst.size(); ++i)
+            dst.set(i, rng.bernoulli(0.5));
+        BitVec expected = dst;
+
+        const auto len = rng.uniformInt(0, 100);
+        const auto src_off = rng.uniformInt(0, 150 - len);
+        const auto dst_off = rng.uniformInt(0, 170 - len);
+        for (std::uint64_t b = 0; b < len; ++b)
+            expected.set(dst_off + b, src.get(src_off + b));
+
+        dst.setRange(dst_off, src, src_off, len);
+        EXPECT_TRUE(dst == expected);
+    }
+    BitVec small(8);
+    EXPECT_THROW(small.setRange(0, BitVec(64), 0, 9), PanicError);
+}
+
+TEST(TaskPool, MapDeliversInInputOrder)
+{
+    TaskPool pool(4);
+    const auto results =
+        pool.map(100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 100u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(TaskPool, ForEachRunsEveryIndexOnce)
+{
+    TaskPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.forEach(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, SurvivesThrowingBatch)
+{
+    TaskPool pool(2);
+    EXPECT_THROW(pool.forEach(8,
+                              [](std::size_t i) {
+                                  if (i == 3)
+                                      throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+    const auto ok = pool.map(4, [](std::size_t i) { return i; });
+    EXPECT_EQ(ok.size(), 4u);
+}
+
+TEST(TaskPool, ReusableAcrossBatchesAndEmptyBatch)
+{
+    TaskPool pool(2);
+    pool.forEach(0, [](std::size_t) { FAIL(); });
+    for (int round = 0; round < 3; ++round) {
+        const auto results = pool.map(
+            17, [&](std::size_t i) { return i + static_cast<std::size_t>(round); });
+        ASSERT_EQ(results.size(), 17u);
+    }
 }
 
 } // namespace
