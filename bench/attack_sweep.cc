@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Attack-pattern x mitigation grid: the modern-attack complement to
+ * Figure 10. Generated single-sided, double-sided, N-sided, and
+ * frequency-fuzzed patterns run against the in-DRAM TRR sampler model
+ * (several sampler sizes) and the paper's Section 6 mechanisms on a
+ * TRR-era chip, reporting observed bit flips per cell.
+ *
+ * Expected shape: double-sided is fully mitigated by any TRR sampler
+ * with >= 2 slots, an N-sided pattern with N above the sampler size
+ * bypasses it (nonzero flips), and the Ideal oracle stops everything.
+ *
+ * Scaling knobs (environment, documented in EXPERIMENTS.md):
+ *   RH_AS_HC       chip HCfirst (default 2000)
+ *   RH_AS_FUZZ     fuzzed patterns generated (default 3)
+ *   RH_AS_BUDGET   activations per pattern (default 8 * HC * 20)
+ *   RH_AS_SEED     chip/pattern seed (default 2020)
+ *   RH_THREADS     worker threads (results identical for any value)
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "attack/sweep.hh"
+#include "bench_common.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace rowhammer;
+
+int
+main()
+{
+    util::setVerbose(false);
+    bench::banner("Attack patterns vs. mitigation mechanisms "
+                  "(N-sided / fuzzed hammering against TRR samplers)");
+
+    attack::SweepConfig config;
+    config.hcFirst =
+        static_cast<double>(bench::envLong("RH_AS_HC", 2000));
+    config.fuzzCount = static_cast<int>(bench::envLong("RH_AS_FUZZ", 3));
+    config.activationBudget = bench::envLong("RH_AS_BUDGET", 0);
+    config.seed =
+        static_cast<std::uint64_t>(bench::envLong("RH_AS_SEED", 2020));
+    config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
+
+    const std::int64_t budget = config.activationBudget > 0
+        ? config.activationBudget
+        : static_cast<std::int64_t>(
+              8.0 * config.hcFirst *
+              *std::max_element(config.nSides.begin(),
+                                config.nSides.end()));
+    std::cout << "chip HCfirst=" << config.hcFirst
+              << " sampler sizes={2,4,8}"
+              << " budget=" << budget
+              << " acts/tREFI=" << config.actsPerRefInterval << "\n\n";
+
+    const auto cells = attack::runSweep(config);
+
+    // Pivot: one row per pattern, one column per mechanism.
+    std::vector<std::string> mech_order;
+    std::vector<std::string> pattern_order;
+    std::map<std::pair<std::string, std::string>, std::int64_t> flips;
+    for (const auto &cell : cells) {
+        if (std::find(mech_order.begin(), mech_order.end(),
+                      cell.mechanism) == mech_order.end())
+            mech_order.push_back(cell.mechanism);
+        if (std::find(pattern_order.begin(), pattern_order.end(),
+                      cell.pattern) == pattern_order.end())
+            pattern_order.push_back(cell.pattern);
+        flips[{cell.pattern, cell.mechanism}] = cell.flips;
+    }
+
+    util::TextTable table;
+    std::vector<std::string> header{"pattern \\ flips"};
+    header.insert(header.end(), mech_order.begin(), mech_order.end());
+    table.setHeader(header);
+    for (const auto &pattern : pattern_order) {
+        std::vector<std::string> row{pattern};
+        for (const auto &mech : mech_order)
+            row.push_back(std::to_string(flips[{pattern, mech}]));
+        table.addRow(row);
+    }
+    table.render(std::cout);
+
+    std::cout
+        << "\nShape check: TRR-S stops single/double-sided and every "
+           "N-sided\npattern with N <= S, but N > S saturates the "
+           "sampler (the decoys\nclaim every slot) and the true pair "
+           "hammers the profiled victim\nfreely - nonzero flips. PARA "
+           "and the Ideal oracle are pattern-\nagnostic and stop every "
+           "generated pattern; ProHIT/MRLoc (tuned\nfor double-sided "
+           "locality at HCfirst=2000) degrade under high-\norder "
+           "patterns.\n";
+    return 0;
+}

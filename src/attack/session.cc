@@ -1,0 +1,136 @@
+#include "session.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::attack
+{
+
+namespace
+{
+
+void
+validate(const fault::ChipModel &chip, const AccessPattern &pattern)
+{
+    std::string why;
+    if (!pattern.wellFormed(&why))
+        util::fatal("attack session: malformed pattern: " + why);
+    if (pattern.bank < 0 || pattern.bank >= chip.geometry().banks)
+        util::fatal("attack session: pattern bank out of range");
+    for (const AggressorSlot &slot : pattern.slots) {
+        if (slot.row >= chip.geometry().rows)
+            util::fatal("attack session: aggressor row beyond the array");
+    }
+}
+
+} // namespace
+
+SessionResult
+runPattern(fault::ChipModel &chip, const AccessPattern &pattern,
+           mitigation::Mitigation *mechanism, const SessionConfig &config,
+           util::Rng &rng)
+{
+    validate(chip, pattern);
+    if (config.actsPerRefInterval < 1)
+        util::fatal("attack session: actsPerRefInterval must be positive");
+
+    const fault::DataPattern dp =
+        config.dataPattern.value_or(chip.spec().worstPattern);
+    const int bank = pattern.bank;
+    const int rows = chip.geometry().rows;
+
+    chip.writePattern(dp, pattern.victimRow & 1);
+    chip.refreshRow(bank, pattern.victimRow);
+
+    SessionResult result;
+    std::vector<mitigation::VictimRef> scratch;
+    // A refresh restores charge but does not undo a flip that already
+    // happened: harvest a row's observable flips immediately before
+    // every restorative row cycle (rows below their flip region read
+    // back clean at zero cost, so latching is cheap).
+    const auto latch_and_refresh = [&](int row) {
+        chip.readRowInto(bank, row, rng, result.flips);
+        chip.refreshRow(bank, row);
+    };
+    const auto apply_victims = [&] {
+        for (const mitigation::VictimRef &ref : scratch) {
+            if (ref.flatBank != bank || ref.row < 0 || ref.row >= rows)
+                continue; // Neighbor of an edge row, or another bank.
+            latch_and_refresh(ref.row);
+            ++result.mitigationRefreshes;
+        }
+        scratch.clear();
+    };
+
+    const std::vector<int> schedule = pattern.schedule();
+    const int rows_per_ref =
+        config.autoRefreshRotation ? config.rowsPerRef : 0;
+    int rotation = 0;
+    std::uint64_t ref_index = 0;
+
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const int row = schedule[i];
+        chip.addActivations(bank, row, 1);
+        ++result.activations;
+        if (mechanism) {
+            scratch.clear();
+            mechanism->onActivate(bank, row,
+                                  static_cast<dram::Cycle>(i), scratch);
+            apply_victims();
+        }
+
+        if ((static_cast<std::int64_t>(i) + 1) %
+                config.actsPerRefInterval !=
+            0) {
+            continue;
+        }
+        ++result.refIntervals;
+        if (config.autoRefreshRotation) {
+            for (int r = 0; r < config.rowsPerRef; ++r)
+                latch_and_refresh((rotation + r) % rows);
+            rotation = (rotation + config.rowsPerRef) % rows;
+        }
+        if (mechanism) {
+            scratch.clear();
+            mechanism->onRefresh(ref_index, rows_per_ref, scratch);
+            apply_victims();
+        }
+        ++ref_index;
+    }
+
+    // Read back every row the pattern can have disturbed, in ascending
+    // order (aggressor rows self-report no flips and draw no
+    // randomness).
+    int span_lo = pattern.victimRow;
+    int span_hi = pattern.victimRow;
+    for (const AggressorSlot &slot : pattern.slots) {
+        span_lo = std::min(span_lo, slot.row);
+        span_hi = std::max(span_hi, slot.row);
+    }
+    const auto [lo, hi] = chip.blastReadRange(span_lo, span_hi);
+    for (int row = lo; row <= hi; ++row)
+        chip.readRowInto(bank, row, rng, result.flips);
+
+    // A cell refreshed past its threshold more than once can latch the
+    // same flip repeatedly; report each observed flip once.
+    std::sort(result.flips.begin(), result.flips.end());
+    result.flips.erase(
+        std::unique(result.flips.begin(), result.flips.end()),
+        result.flips.end());
+    return result;
+}
+
+softmc::HammerResult
+runOnTester(softmc::ChipTester &tester, const AccessPattern &pattern,
+            fault::DataPattern dp, util::Rng &rng)
+{
+    std::string why;
+    if (!pattern.wellFormed(&why))
+        util::fatal("attack::runOnTester: malformed pattern: " + why);
+    const std::vector<fault::AggressorDose> doses = pattern.doses();
+    return tester.runPatternTest(pattern.bank, pattern.victimRow, doses,
+                                 dp, rng);
+}
+
+} // namespace rowhammer::attack

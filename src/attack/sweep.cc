@@ -1,0 +1,170 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "attack/builder.hh"
+#include "dram/timing.hh"
+#include "mitigation/ideal.hh"
+#include "mitigation/mrloc.hh"
+#include "mitigation/para.hh"
+#include "mitigation/prohit.hh"
+#include "mitigation/trr.hh"
+#include "mitigation/twice.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/taskpool.hh"
+
+namespace rowhammer::attack
+{
+
+namespace
+{
+
+using MechFactory =
+    std::function<std::unique_ptr<mitigation::Mitigation>(std::uint64_t)>;
+
+struct MechDesc
+{
+    std::string label;
+    MechFactory make;
+};
+
+std::vector<MechDesc>
+mechanismRoster(const SweepConfig &config)
+{
+    const dram::TimingSpec timing = dram::ddr4_2400();
+    const double hc = config.hcFirst;
+    const int rows = config.geometry.rows;
+
+    std::vector<MechDesc> out;
+    out.push_back({"None", [](std::uint64_t) {
+                       return std::make_unique<mitigation::NoMitigation>();
+                   }});
+    for (int size : config.samplerSizes) {
+        mitigation::TrrSampler::Params params;
+        params.samplerSize = size;
+        params.policy = mitigation::TrrSampler::Policy::InOrder;
+        params.refreshSlotsPerRef = size;
+        out.push_back({"TRR-" + std::to_string(size),
+                       [params](std::uint64_t seed) {
+                           return std::make_unique<
+                               mitigation::TrrSampler>(seed, params);
+                       }});
+    }
+    out.push_back({"PARA", [hc, timing](std::uint64_t seed) {
+                       return std::make_unique<mitigation::Para>(
+                           hc, timing, seed);
+                   }});
+    out.push_back({"ProHIT", [](std::uint64_t seed) {
+                       return std::make_unique<mitigation::ProHit>(seed);
+                   }});
+    out.push_back({"MRLoc", [](std::uint64_t seed) {
+                       return std::make_unique<mitigation::MrLoc>(seed);
+                   }});
+    out.push_back({"TWiCe-ideal", [hc, timing](std::uint64_t) {
+                       return std::make_unique<mitigation::TWiCe>(
+                           hc, timing, true);
+                   }});
+    out.push_back({"Ideal", [hc, rows](std::uint64_t) {
+                       return std::make_unique<mitigation::IdealRefresh>(
+                           hc, rows);
+                   }});
+    return out;
+}
+
+} // namespace
+
+SweepConfig::SweepConfig()
+    : spec(fault::configFor(fault::TypeNode::DDR4New,
+                            fault::Manufacturer::A))
+{
+    geometry.banks = 1;
+    geometry.rows = 4096;
+    geometry.rowDataBits = 16384;
+}
+
+std::vector<SweepCell>
+runSweep(const SweepConfig &config)
+{
+    if (config.nSides.empty())
+        util::fatal("attack sweep: nSides must not be empty");
+
+    const int max_n =
+        *std::max_element(config.nSides.begin(), config.nSides.end());
+    const std::int64_t budget = config.activationBudget > 0
+        ? config.activationBudget
+        : static_cast<std::int64_t>(8.0 * config.hcFirst * max_n);
+
+    // One probe chip fixes the profiled target (the weakest row); every
+    // cell re-instantiates the same chip identity from the same seed.
+    fault::ChipModel probe(config.spec, config.hcFirst, config.seed,
+                           config.geometry);
+    const int bank = probe.weakestBank();
+    const int victim = probe.weakestRow();
+
+    BuilderConfig builder_config;
+    builder_config.rows = config.geometry.rows;
+    builder_config.step = probe.aggressorStep();
+    builder_config.activationBudget = budget;
+    builder_config.maxOrder = std::max(20, max_n);
+    PatternBuilder builder(builder_config, config.seed);
+
+    std::vector<AccessPattern> patterns;
+    patterns.push_back(builder.singleSided(bank, victim));
+    patterns.push_back(builder.doubleSided(bank, victim));
+    for (int n : config.nSides)
+        patterns.push_back(builder.nSided(bank, victim, n));
+    for (int f = 0; f < config.fuzzCount; ++f) {
+        patterns.push_back(builder.fuzzed(
+            bank, victim, static_cast<std::uint64_t>(f)));
+    }
+
+    const std::vector<MechDesc> mechs = mechanismRoster(config);
+
+    SessionConfig session;
+    session.actsPerRefInterval = config.actsPerRefInterval;
+
+    util::TaskPool pool(config.threads);
+    return pool.map(
+        patterns.size() * mechs.size(), [&](std::size_t cell) {
+            const std::size_t pi = cell / mechs.size();
+            const std::size_t mi = cell % mechs.size();
+
+            // Per-cell state derives only from (config seed, cell
+            // index): identical tables for any thread count.
+            fault::ChipModel chip(config.spec, config.hcFirst,
+                                  config.seed, config.geometry);
+            const auto mech = mechs[mi].make(
+                util::mix64(config.seed ^ (0xA11ACEULL + cell)));
+            util::Rng rng(
+                util::mix64(config.seed ^ 0x5EEDB0B0ULL ^ cell));
+
+            const SessionResult run = runPattern(
+                chip, patterns[pi], mech.get(), session, rng);
+
+            SweepCell out;
+            out.pattern = patterns[pi].label;
+            out.mechanism = mechs[mi].label;
+            out.activations = run.activations;
+            out.flips = static_cast<std::int64_t>(run.flips.size());
+            out.mitigationRefreshes = run.mitigationRefreshes;
+            return out;
+        });
+}
+
+std::string
+renderSweepCells(const std::vector<SweepCell> &cells)
+{
+    std::ostringstream out;
+    for (const SweepCell &cell : cells) {
+        out << cell.pattern << " " << cell.mechanism << " "
+            << cell.activations << " " << cell.flips << " "
+            << cell.mitigationRefreshes << "\n";
+    }
+    return out.str();
+}
+
+} // namespace rowhammer::attack

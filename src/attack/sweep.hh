@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Attack-pattern x mitigation-mechanism sweep: the modern-attack
+ * counterpart of the paper's Figure 10 grid. Every cell runs one
+ * generated pattern (single-sided, double-sided, N-sided, fuzzed)
+ * against one mechanism (baseline, TRR samplers of several sizes, and
+ * the paper's Section 6 mechanisms) on a fresh chip instance, and
+ * reports the observed bit flips and the mechanism's refresh work.
+ *
+ * The headline the grid reproduces: a TRR sampler with >= 2 slots fully
+ * stops the paper's worst-case double-sided hammer, an N-sided pattern
+ * with N greater than the sampler size bypasses it (nonzero flips), and
+ * the ideal refresh oracle stops every generated pattern.
+ *
+ * Cells fan across a util::TaskPool; per-cell chips, mechanism seeds,
+ * and read streams derive only from (config seed, cell index), so the
+ * table is byte-identical for any thread count (RH_THREADS contract).
+ */
+
+#ifndef ROWHAMMER_ATTACK_SWEEP_HH
+#define ROWHAMMER_ATTACK_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/session.hh"
+#include "fault/chipspec.hh"
+
+namespace rowhammer::attack
+{
+
+/** Sweep configuration; defaults target a TRR-era DDR4 chip. */
+struct SweepConfig
+{
+    fault::ChipSpec spec;
+    fault::ChipGeometry geometry;
+    /** Chip vulnerability (the TRR era ships HCfirst ~ a few thousand). */
+    double hcFirst = 2000.0;
+    std::uint64_t seed = 2020;
+    /** N-sided orders to sweep; keep divisors of actsPerRefInterval so
+     *  in-order samplers see round-aligned intervals. */
+    std::vector<int> nSides{4, 8, 12, 16, 20};
+    /** Fuzzed patterns generated (seeds 0 .. fuzzCount-1). */
+    int fuzzCount = 3;
+    /** TRR sampler sizes compared. */
+    std::vector<int> samplerSizes{2, 4, 8};
+    /** Total activations per pattern; 0 = 8 * hcFirst * max(nSides). */
+    std::int64_t activationBudget = 0;
+    /** Session REF cadence (see SessionConfig). */
+    std::int64_t actsPerRefInterval = 240;
+    /** Worker threads (0 = one per hardware thread); results do not
+     *  depend on this. */
+    int threads = 0;
+
+    SweepConfig();
+};
+
+/** One (pattern, mechanism) grid cell. */
+struct SweepCell
+{
+    std::string pattern;
+    std::string mechanism;
+    std::int64_t activations = 0;
+    std::int64_t flips = 0;
+    std::int64_t mitigationRefreshes = 0;
+};
+
+/** Run the grid; cells ordered pattern-major, mechanism-minor. */
+std::vector<SweepCell> runSweep(const SweepConfig &config);
+
+/**
+ * Exact-digit text rendering of the grid (one line per cell), used by
+ * the thread-count determinism pin and the bench output.
+ */
+std::string renderSweepCells(const std::vector<SweepCell> &cells);
+
+} // namespace rowhammer::attack
+
+#endif // ROWHAMMER_ATTACK_SWEEP_HH

@@ -1,0 +1,69 @@
+#include "trace_adapter.hh"
+
+#include "util/logging.hh"
+
+namespace rowhammer::attack
+{
+
+TraceAdapter::TraceAdapter(AccessPattern pattern,
+                           sim::AddressMapper mapper, int bubbles)
+    : pattern_(std::move(pattern)), mapper_(std::move(mapper)),
+      bubbles_(bubbles)
+{
+    std::string why;
+    if (!pattern_.wellFormed(&why))
+        util::fatal("TraceAdapter: malformed pattern: " + why);
+    const dram::Organization &org = mapper_.organization();
+    const int flat_banks = org.ranks * org.bankGroups * org.banksPerGroup;
+    if (pattern_.bank < 0 || pattern_.bank >= flat_banks)
+        util::fatal("TraceAdapter: pattern bank outside the organization");
+    for (const AggressorSlot &slot : pattern_.slots) {
+        if (slot.row >= org.rows)
+            util::fatal("TraceAdapter: aggressor row outside the "
+                        "organization");
+    }
+    if (bubbles_ < 0)
+        util::fatal("TraceAdapter: bubble count must be non-negative");
+    pattern_.expand(schedule_);
+}
+
+dram::Address
+TraceAdapter::address(int row, std::int64_t visit) const
+{
+    const dram::Organization &org = mapper_.organization();
+    dram::Address addr;
+    const int banks_per_rank = org.bankGroups * org.banksPerGroup;
+    addr.rank = pattern_.bank / banks_per_rank;
+    const int in_rank = pattern_.bank % banks_per_rank;
+    addr.bankGroup = in_rank / org.banksPerGroup;
+    addr.bank = in_rank % org.banksPerGroup;
+    addr.row = row;
+    // Rotate the column per visit: consecutive reads of a row touch
+    // distinct cache lines, so a cache between the core and the
+    // controller cannot absorb the hammer loop.
+    addr.column = static_cast<int>(visit % org.columns);
+    return addr;
+}
+
+dram::Address
+TraceAdapter::addressAt(std::int64_t index) const
+{
+    const std::size_t pos = static_cast<std::size_t>(
+        index % static_cast<std::int64_t>(schedule_.size()));
+    return address(schedule_[pos], index);
+}
+
+cpu::TraceEntry
+TraceAdapter::next()
+{
+    cpu::TraceEntry entry;
+    entry.bubbles = bubbles_;
+    entry.addr =
+        mapper_.encode(address(schedule_[schedulePos_], emitted_));
+    entry.write = false;
+    schedulePos_ = (schedulePos_ + 1) % schedule_.size();
+    ++emitted_;
+    return entry;
+}
+
+} // namespace rowhammer::attack

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bridge from the attack-pattern IR to the cycle-accurate simulation
+ * stack: a cpu::TraceSource that endlessly replays an AccessPattern's
+ * activation schedule as serialized read accesses, so an attack can be
+ * driven through cpu::Core -> sim::Controller under full FR-FCFS
+ * scheduling, refresh, and mitigation modeling.
+ *
+ * Each scheduled activation becomes one cache-line read of the slot's
+ * row; the column rotates per visit so no two consecutive accesses to a
+ * row share a line (a CLFLUSH-armed attacker defeats the cache; the
+ * row-buffer behaviour is left to the controller, which is the point of
+ * driving the cycle-accurate path).
+ */
+
+#ifndef ROWHAMMER_ATTACK_TRACE_ADAPTER_HH
+#define ROWHAMMER_ATTACK_TRACE_ADAPTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/pattern.hh"
+#include "cpu/core.hh"
+#include "sim/request.hh"
+
+namespace rowhammer::attack
+{
+
+/** See the file comment. */
+class TraceAdapter : public cpu::TraceSource
+{
+  public:
+    /**
+     * @param pattern The pattern to replay (copied; must be well-formed
+     *     and fit the mapper's organization).
+     * @param mapper Address mapping of the target memory system.
+     * @param bubbles Non-memory instructions between accesses (0 = a
+     *     tight hammer loop).
+     */
+    TraceAdapter(AccessPattern pattern, sim::AddressMapper mapper,
+                 int bubbles = 0);
+
+    /** Next access; cycles through the schedule forever. */
+    cpu::TraceEntry next() override;
+
+    const AccessPattern &pattern() const { return pattern_; }
+
+    /** Accesses handed out so far. */
+    std::int64_t emitted() const { return emitted_; }
+
+    /**
+     * Restart the schedule at slot 0 (Blacksmith's REF synchronization:
+     * the attacker observes the refresh cadence and re-phases the
+     * pattern at every REF, so decoy slots always fire first within a
+     * refresh interval). Wire this to a Command::REF observer when
+     * driving a controller.
+     */
+    void resync() { schedulePos_ = 0; }
+
+    /**
+     * Device address of absolute schedule position `index` (row from
+     * the cyclic schedule, column rotated per visit). next() follows
+     * this sequence exactly until the first resync().
+     */
+    dram::Address addressAt(std::int64_t index) const;
+
+  private:
+    /** Address of a read of `row`, column rotated by visit counter. */
+    dram::Address address(int row, std::int64_t visit) const;
+
+    AccessPattern pattern_;
+    sim::AddressMapper mapper_;
+    std::vector<int> schedule_;
+    std::int64_t emitted_ = 0;
+    std::size_t schedulePos_ = 0;
+    int bubbles_ = 0;
+};
+
+} // namespace rowhammer::attack
+
+#endif // ROWHAMMER_ATTACK_TRACE_ADAPTER_HH

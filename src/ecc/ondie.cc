@@ -51,16 +51,27 @@ OnDieEcc::readWithFlips(const util::BitVec &data,
                         const std::vector<std::size_t> &flips,
                         OnDieEccStats *stats) const
 {
-    for (std::size_t bit : flips) {
-        if (bit >= code_.codeBits())
+    // Collapse duplicate stored-bit entries: a cell leaks at most once,
+    // so a bit listed by several aggressor contributions of a weighted
+    // multi-aggressor hammer is one flip, not a cancelling pair. The
+    // quadratic seen-scan is cheaper than sorting for the tiny per-word
+    // flip counts this path sees, and allocates nothing after warm-up.
+    flipScratch_.clear();
+    for (std::size_t i = 0; i < flips.size(); ++i) {
+        if (flips[i] >= code_.codeBits())
             util::panic("OnDieEcc::readWithFlips: flip index out of range");
+        bool seen = false;
+        for (std::size_t j = 0; j < i && !seen; ++j)
+            seen = flips[j] == flips[i];
+        if (!seen)
+            flipScratch_.push_back(flips[i]);
     }
     // Fast path: never materialize the stored codeword. The syndrome of
     // encode(data) is zero, so the flips alone determine it (see
     // HammingSec::decodeWithFlips); behaviour is bit-identical to
-    // store + flip + readWord.
+    // store + flip + readWord of the deduplicated set.
     util::BitVec observed = data;
-    recordDecode(code_.decodeWithFlips(observed, flips), stats);
+    recordDecode(code_.decodeWithFlips(observed, flipScratch_), stats);
     return observed;
 }
 

@@ -64,7 +64,12 @@ class OnDieEcc
      * `data` and decode. This is the common fault-model path, served by
      * an O(|flips|) shortcut (HammingSec::decodeWithFlips) that never
      * materializes the stored codeword; behaviour is bit-identical to
-     * store + flip + readWord.
+     * store + flip-each-listed-bit-once + readWord.
+     *
+     * `flips` is treated as a *set* of corrupted stored bits: a cell
+     * cannot leak twice, so duplicate entries — as arise when per-
+     * aggressor flip contributions of a weighted multi-aggressor hammer
+     * are concatenated — count once instead of cancelling in pairs.
      */
     util::BitVec readWithFlips(const util::BitVec &data,
                                const std::vector<std::size_t> &flips,
@@ -72,6 +77,8 @@ class OnDieEcc
 
   private:
     HammingSec code_;
+    /** Reused dedupe scratch; keeps readWithFlips allocation-free. */
+    mutable std::vector<std::size_t> flipScratch_;
 };
 
 } // namespace rowhammer::ecc

@@ -484,9 +484,19 @@ ChipModel::readRowInto(int bank, int row, util::Rng &rng,
         return;
 
     if (!spec_.onDieEcc) {
-        for (long bit : raw) {
-            const bool stored = storedBitValue(fill, bit);
-            out.push_back(FlipObservation{bank, row, bit, stored});
+        // Two sampled weak cells can land on the same stored bit (the
+        // cluster model draws bit offsets with replacement); they are
+        // the same physical cell, which leaks at most once per read.
+        // Emit each bit once, preserving cell order (raw is tiny, so
+        // the quadratic seen-scan beats sorting and allocates nothing).
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            bool seen = false;
+            for (std::size_t j = 0; j < i && !seen; ++j)
+                seen = raw[j] == raw[i];
+            if (seen)
+                continue;
+            const bool stored = storedBitValue(fill, raw[i]);
+            out.push_back(FlipObservation{bank, row, raw[i], stored});
         }
         return;
     }
@@ -507,7 +517,8 @@ ChipModel::readRowInto(int bank, int row, util::Rng &rng,
                 static_cast<std::size_t>(raw[i] % eccCodeBits));
             ++i;
         }
-        // Duplicate weak cells on the same stored bit cancel; dedupe.
+        // Duplicate weak cells on the same stored bit are one physical
+        // cell: it leaks once, not twice. Keep one copy.
         std::sort(in_word.begin(), in_word.end());
         in_word.erase(std::unique(in_word.begin(), in_word.end()),
                       in_word.end());
@@ -530,22 +541,55 @@ std::vector<FlipObservation>
 ChipModel::hammerDoubleSided(int bank, int victim_row, std::int64_t hc,
                              DataPattern dp, util::Rng &rng)
 {
-    writePattern(dp, victim_row & 1);
-    refreshRow(bank, victim_row);
-    for (int aggressor : aggressorRows(victim_row))
-        addActivations(bank, aggressor, hc);
+    const AggressorList aggressors = aggressorRows(victim_row);
+    std::array<AggressorDose, 2> doses{};
+    for (std::size_t i = 0; i < aggressors.size(); ++i)
+        doses[i] = AggressorDose{aggressors[i], hc};
+    return hammerRows(
+        bank, victim_row,
+        std::span<const AggressorDose>(doses.data(), aggressors.size()),
+        dp, rng);
+}
 
-    std::vector<FlipObservation> out;
+std::pair<int, int>
+ChipModel::blastReadRange(int lo_row, int hi_row) const
+{
     const int radius = spec_.maxCouplingDistance + 1;
     const int pair_extra =
         spec_.rowRemap == RowRemap::PairedWordline ? 2 * radius + 1 : 0;
-    for (int off = -(radius + pair_extra); off <= radius + pair_extra;
-         ++off) {
-        const int row = victim_row + off;
-        if (row < 0 || row >= geometry_.rows)
-            continue;
-        readRowInto(bank, row, rng, out);
+    return {std::max(0, lo_row - radius - pair_extra),
+            std::min(geometry_.rows - 1, hi_row + radius + pair_extra)};
+}
+
+std::vector<FlipObservation>
+ChipModel::hammerRows(int bank, int victim_row,
+                      std::span<const AggressorDose> doses, DataPattern dp,
+                      util::Rng &rng)
+{
+    if (doses.empty())
+        util::fatal("ChipModel::hammerRows: empty aggressor set");
+
+    writePattern(dp, victim_row & 1);
+    refreshRow(bank, victim_row);
+    int lo = victim_row;
+    int hi = victim_row;
+    for (const AggressorDose &dose : doses) {
+        if (dose.count < 0)
+            util::fatal("ChipModel::hammerRows: negative dose");
+        addActivations(bank, dose.row, dose.count);
+        lo = std::min(lo, dose.row);
+        hi = std::max(hi, dose.row);
     }
+
+    // Read the dosed span plus the coupling blast radius. Rows beyond
+    // the radius of every aggressor have zero exposure and consume no
+    // randomness, so widening the span is observation-neutral (this is
+    // what keeps the two-dose case flip-identical to the historical
+    // victim-centered read loop).
+    std::vector<FlipObservation> out;
+    const auto [read_lo, read_hi] = blastReadRange(lo, hi);
+    for (int row = read_lo; row <= read_hi; ++row)
+        readRowInto(bank, row, rng, out);
     return out;
 }
 

@@ -26,6 +26,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "ecc/ondie.hh"
@@ -45,6 +47,17 @@ struct FlipObservation
     bool oneToZero = false; ///< Direction: true if a stored 1 became 0.
 
     auto operator<=>(const FlipObservation &) const = default;
+};
+
+/**
+ * One weighted aggressor of a multi-aggressor hammer: a row and how many
+ * activations it receives. N-sided and frequency-fuzzed attack patterns
+ * (attack::PatternBuilder) reduce to a set of these per hammer session.
+ */
+struct AggressorDose
+{
+    int row = 0;
+    std::int64_t count = 0;
 };
 
 /** Fixed-capacity aggressor-row list (at most two rows, no allocation). */
@@ -152,6 +165,38 @@ class ChipModel
                                                    std::int64_t hc,
                                                    DataPattern dp,
                                                    util::Rng &rng);
+
+    /**
+     * Generalized hammer kernel for weighted aggressor sets: write the
+     * pattern, refresh the victim, apply every dose, and read back every
+     * row within the coupling radius of the dosed span. The double-sided
+     * kernel is the two-dose special case; N-sided and fuzzed patterns
+     * pass larger sets. Rows are read in ascending order; rows with zero
+     * exposure consume no randomness, so adding far-away decoy doses
+     * does not perturb the flips of unrelated rows.
+     */
+    std::vector<FlipObservation> hammerRows(
+        int bank, int victim_row, std::span<const AggressorDose> doses,
+        DataPattern dp, util::Rng &rng);
+
+    /**
+     * Inclusive row range to read back after hammering rows in
+     * [lo_row, hi_row]: the hammered span plus the coupling blast
+     * radius (plus the paired-wordline margin), clamped to the array.
+     * Every multi-aggressor read-back loop (hammerRows, the softmc
+     * tester, the attack session) derives its span from this one
+     * helper so their byte-identical flip contracts stay in lockstep.
+     */
+    std::pair<int, int> blastReadRange(int lo_row, int hi_row) const;
+
+    /**
+     * Logical distance between a victim and its nearest aggressor under
+     * this chip's row remapping (1, or 2 for paired-wordline chips).
+     */
+    int aggressorStep() const
+    {
+        return spec_.rowRemap == RowRemap::PairedWordline ? 2 : 1;
+    }
 
     /** Number of weak cells sampled in a row (test/instrumentation). */
     std::size_t weakCellCount(int bank, int row) const;

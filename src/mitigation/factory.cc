@@ -5,6 +5,7 @@
 #include "mitigation/mrloc.hh"
 #include "mitigation/para.hh"
 #include "mitigation/prohit.hh"
+#include "mitigation/trr.hh"
 #include "mitigation/twice.hh"
 #include "util/logging.hh"
 
@@ -16,7 +17,7 @@ allKinds()
 {
     return {Kind::IncreasedRefresh, Kind::PARA,  Kind::ProHIT,
             Kind::MRLoc,            Kind::TWiCe, Kind::TWiCeIdeal,
-            Kind::Ideal};
+            Kind::TrrSampler,       Kind::Ideal};
 }
 
 std::string
@@ -37,6 +38,8 @@ toString(Kind kind)
         return "TWiCe";
       case Kind::TWiCeIdeal:
         return "TWiCe-ideal";
+      case Kind::TrrSampler:
+        return "TRR";
       case Kind::Ideal:
         return "Ideal";
     }
@@ -62,6 +65,8 @@ makeMitigation(Kind kind, double hc_first, const dram::TimingSpec &timing,
         return std::make_unique<TWiCe>(hc_first, timing, false);
       case Kind::TWiCeIdeal:
         return std::make_unique<TWiCe>(hc_first, timing, true);
+      case Kind::TrrSampler:
+        return std::make_unique<TrrSampler>(seed);
       case Kind::Ideal:
         return std::make_unique<IdealRefresh>(hc_first, rows_per_bank);
     }

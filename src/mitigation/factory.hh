@@ -17,7 +17,10 @@
 namespace rowhammer::mitigation
 {
 
-/** The mechanisms of Section 6 (plus the no-op baseline). */
+/**
+ * The mechanisms of Section 6 (plus the no-op baseline and the in-DRAM
+ * TRR sampler the modern attack literature bypasses).
+ */
 enum class Kind
 {
     None,
@@ -27,10 +30,11 @@ enum class Kind
     MRLoc,
     TWiCe,
     TWiCeIdeal,
+    TrrSampler,
     Ideal,
 };
 
-/** All kinds the paper's Figure 10 sweeps (excludes None). */
+/** All kinds the mitigation sweeps compare (excludes None). */
 std::vector<Kind> allKinds();
 
 /** Printable name, e.g. "PARA". */

@@ -49,6 +49,13 @@ class MrLoc : public Mitigation
     /** Probability for a re-insertion `gap` insertions after the last. */
     double probabilityForGap(double gap) const;
 
+    /** Victims currently queued (tests; bounded by Params::queueSize). */
+    std::size_t queuedVictims() const { return queue_.size(); }
+
+    /** Recency records held (tests; eviction keeps this bounded even
+     *  when distinct aggressors far exceed the queue capacity). */
+    std::size_t trackedRecords() const { return lastInsert_.size(); }
+
   private:
     using Key = std::uint64_t;
 

@@ -1,5 +1,7 @@
 #include "chip_tester.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rowhammer::softmc
@@ -97,6 +99,46 @@ ChipTester::hammerPair(int bank, int aggressor1, int aggressor2,
     return now_ - start;
 }
 
+dram::Cycle
+ChipTester::hammerRows(int bank,
+                       std::span<const fault::AggressorDose> doses)
+{
+    if (refreshEnabled_) {
+        util::fatal("ChipTester::hammerRows: refresh must be disabled "
+                    "during the core hammer loop");
+    }
+    if (doses.empty())
+        util::fatal("ChipTester::hammerRows: empty aggressor set");
+
+    std::vector<std::int64_t> remaining;
+    remaining.reserve(doses.size());
+    for (const fault::AggressorDose &dose : doses) {
+        if (dose.count < 0)
+            util::fatal("ChipTester::hammerRows: negative dose");
+        remaining.push_back(dose.count);
+    }
+
+    dram::Address addr{.rank = 0, .bankGroup = 0, .bank = bank,
+                       .row = 0, .column = 0};
+    const dram::Cycle start = now_;
+    bool live = true;
+    while (live) {
+        live = false;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            if (remaining[i] <= 0)
+                continue;
+            live = true;
+            --remaining[i];
+            addr.row = doses[i].row;
+            issueAsap(dram::Command::ACT, addr);
+            issueAsap(dram::Command::PRE, addr);
+        }
+    }
+    for (const fault::AggressorDose &dose : doses)
+        model_.addActivations(bank, dose.row, dose.count);
+    return now_ - start;
+}
+
 std::vector<fault::FlipObservation>
 ChipTester::readRow(int bank, int row, util::Rng &rng)
 {
@@ -142,17 +184,57 @@ ChipTester::runHammerTest(int bank, int victim_row, std::int64_t hc,
 
     enableRefresh();
 
-    const int radius = model_.spec().maxCouplingDistance + 1;
-    const int pair_extra =
-        model_.spec().rowRemap == fault::RowRemap::PairedWordline
-            ? 2 * radius + 1 : 0;
-    for (int off = -(radius + pair_extra); off <= radius + pair_extra;
-         ++off) {
-        const int row = victim_row + off;
-        if (row < 0 || row >= model_.geometry().rows)
-            continue;
+    const auto [lo, hi] = model_.blastReadRange(victim_row, victim_row);
+    for (int row = lo; row <= hi; ++row) {
         if (row == aggressors[0] || row == aggressors[1])
             continue;
+        auto flips = readRow(bank, row, rng);
+        result.flips.insert(result.flips.end(), flips.begin(),
+                            flips.end());
+    }
+    return result;
+}
+
+HammerResult
+ChipTester::runPatternTest(int bank, int victim_row,
+                           std::span<const fault::AggressorDose> doses,
+                           fault::DataPattern dp, util::Rng &rng)
+{
+    if (doses.empty())
+        util::fatal("ChipTester::runPatternTest: empty aggressor set");
+
+    writePattern(dp, victim_row & 1);
+    refreshRow(bank, victim_row);
+    disableRefresh();
+
+    HammerResult result;
+    result.coreLoopCycles = hammerRows(bank, doses);
+    for (const fault::AggressorDose &dose : doses)
+        result.activations += dose.count;
+    result.coreLoopMs = timing().toNs(result.coreLoopCycles) * 1e-6;
+
+    // Section 4.3: the core loop must fit within the minimum refresh
+    // window so RowHammer flips are not conflated with retention loss.
+    if (result.coreLoopMs >= 32.0) {
+        util::fatal("ChipTester::runPatternTest: core loop exceeds the "
+                    "32 ms refresh window; lower the pattern's doses");
+    }
+
+    enableRefresh();
+
+    int span_lo = victim_row;
+    int span_hi = victim_row;
+    for (const fault::AggressorDose &dose : doses) {
+        span_lo = std::min(span_lo, dose.row);
+        span_hi = std::max(span_hi, dose.row);
+    }
+    const auto [lo, hi] = model_.blastReadRange(span_lo, span_hi);
+    for (int row = lo; row <= hi; ++row) {
+        bool is_aggressor = false;
+        for (const fault::AggressorDose &dose : doses)
+            is_aggressor = is_aggressor || dose.row == row;
+        if (is_aggressor)
+            continue; // Continuously refreshed; cannot flip (Section 5.4).
         auto flips = readRow(bank, row, rng);
         result.flips.insert(result.flips.end(), flips.begin(),
                             flips.end());

@@ -16,6 +16,7 @@
 #define ROWHAMMER_SOFTMC_CHIP_TESTER_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dram/device.hh"
@@ -80,6 +81,16 @@ class ChipTester
     dram::Cycle hammerPair(int bank, int aggressor1, int aggressor2,
                            std::int64_t hc);
 
+    /**
+     * Weighted multi-aggressor core loop: activate every dosed row as
+     * fast as timing allows, interleaving rows round-robin until each
+     * row's dose is exhausted (the interleave maximizes row-buffer
+     * conflicts, like the pair loop's alternation). Refresh must be
+     * disabled. Returns the cycles consumed.
+     */
+    dram::Cycle hammerRows(int bank,
+                           std::span<const fault::AggressorDose> doses);
+
     /** Read back a row's observed bit flips. */
     std::vector<fault::FlipObservation> readRow(int bank, int row,
                                                 util::Rng &rng);
@@ -91,6 +102,18 @@ class ChipTester
      */
     HammerResult runHammerTest(int bank, int victim_row, std::int64_t hc,
                                fault::DataPattern dp, util::Rng &rng);
+
+    /**
+     * Algorithm 1 generalized to a weighted aggressor set: write /
+     * refresh-victim / disable-refresh / hammerRows / re-enable / read
+     * every non-aggressor row within the coupling radius of the dosed
+     * span. Checks the 32 ms core-loop bound. Flips are byte-identical
+     * to ChipModel::hammerRows with the same rng state (aggressor rows
+     * report no flips and consume no randomness either way).
+     */
+    HammerResult runPatternTest(int bank, int victim_row,
+                                std::span<const fault::AggressorDose> doses,
+                                fault::DataPattern dp, util::Rng &rng);
 
     /**
      * Reverse-engineer the logical-to-physical remap step by hammering a

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 #include "ecc/hamming.hh"
@@ -287,11 +289,16 @@ TEST_P(WordParallelFuzz, ReadWithFlipsMatchesBitSerialUpTo3Flips)
     Rng rng(202 + width);
     for (int trial = 0; trial < 400; ++trial) {
         const BitVec data = randomData(width, rng);
+        // Distinct bits: readWithFlips has set semantics (a cell leaks
+        // once), so the flip-per-entry reference below requires each
+        // stored bit to appear at most once.
         const auto nflips = rng.uniformInt(0, 3);
         std::vector<std::size_t> flips;
-        for (std::uint64_t f = 0; f < nflips; ++f) {
-            flips.push_back(static_cast<std::size_t>(
-                rng.uniformInt(0, ecc.codeBits() - 1)));
+        while (flips.size() < nflips) {
+            const auto bit = static_cast<std::size_t>(
+                rng.uniformInt(0, ecc.codeBits() - 1));
+            if (std::find(flips.begin(), flips.end(), bit) == flips.end())
+                flips.push_back(bit);
         }
 
         const BitVec fast = ecc.readWithFlips(data, flips);

@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "attack/sweep.hh"
 #include "core/experiment.hh"
 #include "util/logging.hh"
 
@@ -82,6 +83,47 @@ TEST(ExperimentSweep, RepeatedSweepIsStable)
     const auto first = runner.sweep(hc_firsts);
     const auto second = runner.sweep(hc_firsts);
     EXPECT_EQ(renderSweep(first), renderSweep(second));
+}
+
+TEST(AttackSweep, ThreadCountInvariant)
+{
+    // The attack_sweep grid must be byte-identical for any thread
+    // count, same style as the fig10 pin above (scaled-down grid).
+    attack::SweepConfig config;
+    config.hcFirst = 500;
+    config.geometry.rows = 1024;
+    config.geometry.rowDataBits = 4096;
+    config.nSides = {4, 8};
+    config.fuzzCount = 1;
+    config.samplerSizes = {2, 4};
+
+    config.threads = 1;
+    const auto serial = attack::runSweep(config);
+    config.threads = 4;
+    const auto parallel = attack::runSweep(config);
+
+    EXPECT_EQ(attack::renderSweepCells(serial),
+              attack::renderSweepCells(parallel));
+
+    // The grid must exhibit the headline ordering, not just agree.
+    const auto flips_of = [&](const std::string &pattern,
+                              const std::string &mechanism) {
+        for (const auto &cell : serial) {
+            if (cell.pattern == pattern && cell.mechanism == mechanism)
+                return cell.flips;
+        }
+        ADD_FAILURE() << "missing cell " << pattern << "/" << mechanism;
+        return std::int64_t{-1};
+    };
+    EXPECT_GT(flips_of("double-sided", "None"), 0);
+    EXPECT_EQ(flips_of("double-sided", "TRR-2"), 0);
+    EXPECT_GT(flips_of("4-sided", "TRR-2"), 0);   // N > sampler size.
+    EXPECT_EQ(flips_of("4-sided", "TRR-4"), 0);   // N <= sampler size.
+    EXPECT_GT(flips_of("8-sided", "TRR-4"), 0);
+    for (const auto &cell : serial) {
+        if (cell.mechanism == "Ideal")
+            EXPECT_EQ(cell.flips, 0) << cell.pattern;
+    }
 }
 
 TEST(ExperimentSweep, ConcurrentRunMixMatchesSerial)

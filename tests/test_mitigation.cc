@@ -6,8 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include "attack/builder.hh"
+#include "attack/session.hh"
 #include "dram/timing.hh"
+#include "fault/chip_model.hh"
+#include "fault/chipspec.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "mitigation/factory.hh"
 #include "mitigation/ideal.hh"
 #include "mitigation/increfresh.hh"
@@ -15,6 +20,7 @@
 #include "mitigation/para.hh"
 #include "mitigation/profile_guided.hh"
 #include "mitigation/prohit.hh"
+#include "mitigation/trr.hh"
 #include "mitigation/twice.hh"
 
 namespace
@@ -245,6 +251,213 @@ TEST(MrLoc, QuietTrafficRarelyRefreshes)
     for (int i = 0; i < 4000; ++i)
         mrloc.onActivate(0, (i * 37) % 8192, i, out);
     EXPECT_LT(out.size(), 40u);
+}
+
+// ----------------------------------------------- TRR sampler model
+
+TEST(TrrSampler, SamplerCapacityBounded)
+{
+    TrrSampler trr(1, TrrSampler::Params{.samplerSize = 4});
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 1000; ++i)
+        trr.onActivate(0, i % 100, i, out);
+    EXPECT_TRUE(out.empty()); // TRR refreshes only under REF.
+    EXPECT_EQ(trr.sampledRows(), 4u);
+}
+
+TEST(TrrSampler, ServicesNeighborsAndClearsOnRefresh)
+{
+    TrrSampler trr(1, TrrSampler::Params{.samplerSize = 2,
+                                         .refreshSlotsPerRef = 2});
+    std::vector<VictimRef> out;
+    trr.onActivate(0, 100, 0, out);
+    trr.onActivate(0, 200, 1, out);
+    trr.onRefresh(0, 0, out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].row, 99);
+    EXPECT_EQ(out[1].row, 101);
+    EXPECT_EQ(out[2].row, 199);
+    EXPECT_EQ(out[3].row, 201);
+    EXPECT_EQ(trr.sampledRows(), 0u); // Interval-scoped state.
+}
+
+TEST(TrrSampler, InOrderPolicyIsBlindOnceSaturated)
+{
+    // The adversarial core of TRRespass: decoys claim every slot, the
+    // rows activated afterwards are never sampled.
+    TrrSampler trr(1, TrrSampler::Params{.samplerSize = 2,
+                                         .refreshSlotsPerRef = 2});
+    std::vector<VictimRef> out;
+    for (int round = 0; round < 50; ++round) {
+        for (int decoy : {300, 400})
+            trr.onActivate(0, decoy, round, out);
+        for (int real : {100, 102})
+            trr.onActivate(0, real, round, out);
+    }
+    trr.onRefresh(0, 0, out);
+    for (const auto &v : out) {
+        EXPECT_NE(v.row, 101) << "saturated sampler serviced the pair";
+        EXPECT_TRUE(v.row == 299 || v.row == 301 || v.row == 399 ||
+                    v.row == 401);
+    }
+}
+
+TEST(TrrSampler, FrequencyCountersCancelUnderUniformManySided)
+{
+    // Misra-Gries counters: N equally-hot rows above capacity cancel
+    // each other, so the table churns instead of locking onto anyone.
+    TrrSampler trr(1,
+                   TrrSampler::Params{
+                       .samplerSize = 4,
+                       .policy = TrrSampler::Policy::Frequency,
+                       .refreshSlotsPerRef = 4});
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 8000; ++i)
+        trr.onActivate(0, 10 + 2 * (i % 8), i, out);
+    EXPECT_LE(trr.sampledRows(), 4u);
+
+    // The same counters lock on when the aggressors fit the table.
+    TrrSampler fits(1,
+                    TrrSampler::Params{
+                        .samplerSize = 4,
+                        .policy = TrrSampler::Policy::Frequency,
+                        .refreshSlotsPerRef = 4});
+    for (int i = 0; i < 8000; ++i)
+        fits.onActivate(0, 10 + 2 * (i % 2), i, out);
+    out.clear();
+    fits.onRefresh(0, 0, out);
+    ASSERT_EQ(out.size(), 4u); // Both aggressors serviced.
+}
+
+TEST(TrrSampler, RandomPolicyDeterministicPerSeed)
+{
+    const TrrSampler::Params params{
+        .samplerSize = 2, .policy = TrrSampler::Policy::Random,
+        .refreshSlotsPerRef = 2};
+    TrrSampler a(99, params);
+    TrrSampler b(99, params);
+    std::vector<VictimRef> out_a;
+    std::vector<VictimRef> out_b;
+    for (int i = 0; i < 5000; ++i) {
+        a.onActivate(0, i % 16, i, out_a);
+        b.onActivate(0, i % 16, i, out_b);
+        if (i % 170 == 0) {
+            a.onRefresh(static_cast<std::uint64_t>(i), 0, out_a);
+            b.onRefresh(static_cast<std::uint64_t>(i), 0, out_b);
+        }
+    }
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t i = 0; i < out_a.size(); ++i) {
+        EXPECT_EQ(out_a[i].row, out_b[i].row);
+        EXPECT_EQ(out_a[i].flatBank, out_b[i].flatBank);
+    }
+}
+
+/**
+ * End-to-end sampler saturation against the fault model: an N-sided
+ * pattern leaks flips iff its aggressor count exceeds the sampler
+ * size. This is the adversarial acceptance test of the attack-vs-TRR
+ * arena (small chip, HCfirst 1000, 8x overdrive).
+ */
+std::size_t
+trrSessionFlips(int n_sided, int sampler_size)
+{
+    fault::ChipSpec spec = fault::configFor(fault::TypeNode::DDR4New,
+                                            fault::Manufacturer::A);
+    fault::ChipGeometry geometry;
+    geometry.banks = 1;
+    geometry.rows = 512;
+    geometry.rowDataBits = 4096;
+    fault::ChipModel chip(spec, 1000, 77, geometry);
+
+    attack::BuilderConfig config;
+    config.rows = geometry.rows;
+    config.activationBudget = 8000LL * n_sided; // 8 * HCfirst per slot.
+    attack::PatternBuilder builder(config, 5);
+    const attack::AccessPattern pattern =
+        builder.nSided(chip.weakestBank(), chip.weakestRow(), n_sided);
+
+    TrrSampler trr(3, TrrSampler::Params{
+                          .samplerSize = sampler_size,
+                          .refreshSlotsPerRef = sampler_size});
+    attack::SessionConfig session;
+    session.actsPerRefInterval = 240; // Multiple of every tested N.
+    rowhammer::util::Rng rng(41);
+    return attack::runPattern(chip, pattern, &trr, session, rng)
+        .flips.size();
+}
+
+TEST(TrrSampler, NSidedAboveSamplerSizeLeaksFlips)
+{
+    EXPECT_GT(trrSessionFlips(6, 4), 0u);
+    EXPECT_GT(trrSessionFlips(8, 4), 0u);
+    EXPECT_GT(trrSessionFlips(4, 2), 0u);
+}
+
+TEST(TrrSampler, NSidedWithinSamplerSizeFullyMitigated)
+{
+    EXPECT_EQ(trrSessionFlips(4, 4), 0u);
+    EXPECT_EQ(trrSessionFlips(4, 8), 0u);
+    EXPECT_EQ(trrSessionFlips(6, 6), 0u);
+}
+
+// ------------------- table eviction beyond capacity (ProHIT / MRLoc)
+
+TEST(ProHit, EvictionUnderAggressorCountsBeyondCapacity)
+{
+    // Force every victim insertion (p_i = 1) and stream far more
+    // distinct aggressors than hot + cold can hold: tables must stay
+    // bounded, keep unique entries, and still service refreshes.
+    ProHit::Params params;
+    params.insertProbability = 1.0;
+    ProHit prohit(7, params);
+    std::vector<VictimRef> out;
+    for (int i = 0; i < 20000; ++i)
+        prohit.onActivate(0, 2 * (i % 1000) + 2, i, out);
+    EXPECT_LE(prohit.hotSize(),
+              static_cast<std::size_t>(params.hotEntries));
+    EXPECT_LE(prohit.coldSize(),
+              static_cast<std::size_t>(params.coldEntries));
+
+    std::size_t serviced = 0;
+    for (int ref = 0; ref < 16; ++ref) {
+        out.clear();
+        prohit.onRefresh(static_cast<std::uint64_t>(ref), 2, out);
+        EXPECT_LE(out.size(), 1u); // One hot entry per REF.
+        serviced += out.size();
+    }
+    EXPECT_GT(serviced, 0u);
+}
+
+TEST(ProHit, HotTableNeverExceedsCapacityDuringPromotionBursts)
+{
+    ProHit::Params params;
+    params.insertProbability = 1.0;
+    ProHit prohit(11, params);
+    std::vector<VictimRef> out;
+    // Re-reference a rotating window so cold entries keep promoting
+    // into a full hot table (exercising the demotion path).
+    for (int i = 0; i < 30000; ++i) {
+        prohit.onActivate(0, 2 * (i % 6) + 2, i, out);
+        EXPECT_LE(prohit.hotSize(),
+                  static_cast<std::size_t>(params.hotEntries));
+    }
+}
+
+TEST(MrLoc, QueueAndRecencyBoundedBeyondCapacity)
+{
+    MrLoc mrloc(13);
+    std::vector<VictimRef> out;
+    // 5000 distinct aggressors, each touched a few times: far beyond
+    // the 64-entry queue.
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 5000; ++i)
+            mrloc.onActivate(0, 2 * i + 2, i, out);
+    }
+    EXPECT_LE(mrloc.queuedVictims(), MrLoc::Params{}.queueSize);
+    // Eviction must drop recency records once victims leave the queue;
+    // allow in-flight duplicates up to one extra queue's worth.
+    EXPECT_LE(mrloc.trackedRecords(), 2 * MrLoc::Params{}.queueSize);
 }
 
 TEST(Factory, AllKindsConstructible)
