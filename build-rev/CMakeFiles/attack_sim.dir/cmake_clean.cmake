@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_sim.dir/examples/attack_sim.cpp.o"
+  "CMakeFiles/attack_sim.dir/examples/attack_sim.cpp.o.d"
+  "examples/attack_sim"
+  "examples/attack_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

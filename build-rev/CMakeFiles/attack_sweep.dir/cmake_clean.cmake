@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_sweep.dir/bench/attack_sweep.cc.o"
+  "CMakeFiles/attack_sweep.dir/bench/attack_sweep.cc.o.d"
+  "bench/attack_sweep"
+  "bench/attack_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for attack_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_module.dir/examples/characterize_module.cpp.o"
+  "CMakeFiles/characterize_module.dir/examples/characterize_module.cpp.o.d"
+  "examples/characterize_module"
+  "examples/characterize_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

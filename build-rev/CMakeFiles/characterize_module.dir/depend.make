@@ -1,0 +1,2 @@
+# Empty dependencies file for characterize_module.
+# This may be replaced when dependencies are built.

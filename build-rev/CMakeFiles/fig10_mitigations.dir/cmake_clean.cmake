@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mitigations.dir/bench/fig10_mitigations.cc.o"
+  "CMakeFiles/fig10_mitigations.dir/bench/fig10_mitigations.cc.o.d"
+  "bench/fig10_mitigations"
+  "bench/fig10_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

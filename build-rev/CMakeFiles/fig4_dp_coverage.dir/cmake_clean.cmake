@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dp_coverage.dir/bench/fig4_dp_coverage.cc.o"
+  "CMakeFiles/fig4_dp_coverage.dir/bench/fig4_dp_coverage.cc.o.d"
+  "bench/fig4_dp_coverage"
+  "bench/fig4_dp_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dp_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_dp_coverage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hc_sweep.dir/bench/fig5_hc_sweep.cc.o"
+  "CMakeFiles/fig5_hc_sweep.dir/bench/fig5_hc_sweep.cc.o.d"
+  "bench/fig5_hc_sweep"
+  "bench/fig5_hc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

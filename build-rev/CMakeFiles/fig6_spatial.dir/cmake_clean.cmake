@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spatial.dir/bench/fig6_spatial.cc.o"
+  "CMakeFiles/fig6_spatial.dir/bench/fig6_spatial.cc.o.d"
+  "bench/fig6_spatial"
+  "bench/fig6_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

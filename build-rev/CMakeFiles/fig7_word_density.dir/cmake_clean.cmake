@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_word_density.dir/bench/fig7_word_density.cc.o"
+  "CMakeFiles/fig7_word_density.dir/bench/fig7_word_density.cc.o.d"
+  "bench/fig7_word_density"
+  "bench/fig7_word_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_word_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_word_density.
+# This may be replaced when dependencies are built.

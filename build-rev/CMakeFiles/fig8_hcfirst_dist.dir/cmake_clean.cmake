@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hcfirst_dist.dir/bench/fig8_hcfirst_dist.cc.o"
+  "CMakeFiles/fig8_hcfirst_dist.dir/bench/fig8_hcfirst_dist.cc.o.d"
+  "bench/fig8_hcfirst_dist"
+  "bench/fig8_hcfirst_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hcfirst_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ecc_hc.dir/bench/fig9_ecc_hc.cc.o"
+  "CMakeFiles/fig9_ecc_hc.dir/bench/fig9_ecc_hc.cc.o.d"
+  "bench/fig9_ecc_hc"
+  "bench/fig9_ecc_hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ecc_hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_ecc_hc.
+# This may be replaced when dependencies are built.

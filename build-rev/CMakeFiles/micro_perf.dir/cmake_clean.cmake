@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_perf.dir/bench/micro_perf.cc.o"
+  "CMakeFiles/micro_perf.dir/bench/micro_perf.cc.o.d"
+  "bench/micro_perf"
+  "bench/micro_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_tradeoff.dir/examples/mitigation_tradeoff.cpp.o"
+  "CMakeFiles/mitigation_tradeoff.dir/examples/mitigation_tradeoff.cpp.o.d"
+  "examples/mitigation_tradeoff"
+  "examples/mitigation_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

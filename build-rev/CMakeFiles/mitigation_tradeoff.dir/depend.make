@@ -1,0 +1,2 @@
+# Empty dependencies file for mitigation_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/builder.cc" "CMakeFiles/rowhammer.dir/src/attack/builder.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/attack/builder.cc.o.d"
+  "/root/repo/src/attack/pattern.cc" "CMakeFiles/rowhammer.dir/src/attack/pattern.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/attack/pattern.cc.o.d"
+  "/root/repo/src/attack/session.cc" "CMakeFiles/rowhammer.dir/src/attack/session.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/attack/session.cc.o.d"
+  "/root/repo/src/attack/sweep.cc" "CMakeFiles/rowhammer.dir/src/attack/sweep.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/attack/sweep.cc.o.d"
+  "/root/repo/src/attack/trace_adapter.cc" "CMakeFiles/rowhammer.dir/src/attack/trace_adapter.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/attack/trace_adapter.cc.o.d"
+  "/root/repo/src/charlib/analyses.cc" "CMakeFiles/rowhammer.dir/src/charlib/analyses.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/charlib/analyses.cc.o.d"
+  "/root/repo/src/charlib/hcfirst.cc" "CMakeFiles/rowhammer.dir/src/charlib/hcfirst.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/charlib/hcfirst.cc.o.d"
+  "/root/repo/src/charlib/runner.cc" "CMakeFiles/rowhammer.dir/src/charlib/runner.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/charlib/runner.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "CMakeFiles/rowhammer.dir/src/core/experiment.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/core/experiment.cc.o.d"
+  "/root/repo/src/core/system.cc" "CMakeFiles/rowhammer.dir/src/core/system.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/core/system.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "CMakeFiles/rowhammer.dir/src/cpu/cache.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "CMakeFiles/rowhammer.dir/src/cpu/core.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/cpu/core.cc.o.d"
+  "/root/repo/src/dram/device.cc" "CMakeFiles/rowhammer.dir/src/dram/device.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/dram/device.cc.o.d"
+  "/root/repo/src/dram/organization.cc" "CMakeFiles/rowhammer.dir/src/dram/organization.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/dram/organization.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "CMakeFiles/rowhammer.dir/src/dram/timing.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/dram/timing.cc.o.d"
+  "/root/repo/src/dram/types.cc" "CMakeFiles/rowhammer.dir/src/dram/types.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/dram/types.cc.o.d"
+  "/root/repo/src/ecc/hamming.cc" "CMakeFiles/rowhammer.dir/src/ecc/hamming.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/ecc/hamming.cc.o.d"
+  "/root/repo/src/ecc/ondie.cc" "CMakeFiles/rowhammer.dir/src/ecc/ondie.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/ecc/ondie.cc.o.d"
+  "/root/repo/src/ecc/terror.cc" "CMakeFiles/rowhammer.dir/src/ecc/terror.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/ecc/terror.cc.o.d"
+  "/root/repo/src/fault/chip_model.cc" "CMakeFiles/rowhammer.dir/src/fault/chip_model.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/fault/chip_model.cc.o.d"
+  "/root/repo/src/fault/chipspec.cc" "CMakeFiles/rowhammer.dir/src/fault/chipspec.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/fault/chipspec.cc.o.d"
+  "/root/repo/src/fault/datapattern.cc" "CMakeFiles/rowhammer.dir/src/fault/datapattern.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/fault/datapattern.cc.o.d"
+  "/root/repo/src/fault/population.cc" "CMakeFiles/rowhammer.dir/src/fault/population.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/fault/population.cc.o.d"
+  "/root/repo/src/mitigation/factory.cc" "CMakeFiles/rowhammer.dir/src/mitigation/factory.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/factory.cc.o.d"
+  "/root/repo/src/mitigation/ideal.cc" "CMakeFiles/rowhammer.dir/src/mitigation/ideal.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/ideal.cc.o.d"
+  "/root/repo/src/mitigation/increfresh.cc" "CMakeFiles/rowhammer.dir/src/mitigation/increfresh.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/increfresh.cc.o.d"
+  "/root/repo/src/mitigation/mrloc.cc" "CMakeFiles/rowhammer.dir/src/mitigation/mrloc.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/mrloc.cc.o.d"
+  "/root/repo/src/mitigation/para.cc" "CMakeFiles/rowhammer.dir/src/mitigation/para.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/para.cc.o.d"
+  "/root/repo/src/mitigation/profile_guided.cc" "CMakeFiles/rowhammer.dir/src/mitigation/profile_guided.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/profile_guided.cc.o.d"
+  "/root/repo/src/mitigation/prohit.cc" "CMakeFiles/rowhammer.dir/src/mitigation/prohit.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/prohit.cc.o.d"
+  "/root/repo/src/mitigation/trr.cc" "CMakeFiles/rowhammer.dir/src/mitigation/trr.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/trr.cc.o.d"
+  "/root/repo/src/mitigation/twice.cc" "CMakeFiles/rowhammer.dir/src/mitigation/twice.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/mitigation/twice.cc.o.d"
+  "/root/repo/src/sim/controller.cc" "CMakeFiles/rowhammer.dir/src/sim/controller.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/sim/controller.cc.o.d"
+  "/root/repo/src/sim/request.cc" "CMakeFiles/rowhammer.dir/src/sim/request.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/sim/request.cc.o.d"
+  "/root/repo/src/softmc/chip_tester.cc" "CMakeFiles/rowhammer.dir/src/softmc/chip_tester.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/softmc/chip_tester.cc.o.d"
+  "/root/repo/src/util/bitvec.cc" "CMakeFiles/rowhammer.dir/src/util/bitvec.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/bitvec.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/rowhammer.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/rowhammer.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/rowhammer.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/rowhammer.dir/src/util/table.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/taskpool.cc" "CMakeFiles/rowhammer.dir/src/util/taskpool.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/util/taskpool.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "CMakeFiles/rowhammer.dir/src/workload/synthetic.cc.o" "gcc" "CMakeFiles/rowhammer.dir/src/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for rowhammer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rowhammerable.dir/bench/table2_rowhammerable.cc.o"
+  "CMakeFiles/table2_rowhammerable.dir/bench/table2_rowhammerable.cc.o.d"
+  "bench/table2_rowhammerable"
+  "bench/table2_rowhammerable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rowhammerable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_rowhammerable.
+# This may be replaced when dependencies are built.

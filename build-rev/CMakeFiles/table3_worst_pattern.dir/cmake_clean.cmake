@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_worst_pattern.dir/bench/table3_worst_pattern.cc.o"
+  "CMakeFiles/table3_worst_pattern.dir/bench/table3_worst_pattern.cc.o.d"
+  "bench/table3_worst_pattern"
+  "bench/table3_worst_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_worst_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_worst_pattern.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hcfirst.dir/bench/table4_hcfirst.cc.o"
+  "CMakeFiles/table4_hcfirst.dir/bench/table4_hcfirst.cc.o.d"
+  "bench/table4_hcfirst"
+  "bench/table4_hcfirst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hcfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_monotonicity.dir/bench/table5_monotonicity.cc.o"
+  "CMakeFiles/table5_monotonicity.dir/bench/table5_monotonicity.cc.o.d"
+  "bench/table5_monotonicity"
+  "bench/table5_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_8_population.dir/bench/table7_8_population.cc.o"
+  "CMakeFiles/table7_8_population.dir/bench/table7_8_population.cc.o.d"
+  "bench/table7_8_population"
+  "bench/table7_8_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_8_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_8_population.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/tests/test_attack.cc.o"
+  "CMakeFiles/test_attack.dir/tests/test_attack.cc.o.d"
+  "test_attack"
+  "test_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlib.dir/tests/test_charlib.cc.o"
+  "CMakeFiles/test_charlib.dir/tests/test_charlib.cc.o.d"
+  "test_charlib"
+  "test_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/tests/test_cpu.cc.o"
+  "CMakeFiles/test_cpu.dir/tests/test_cpu.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

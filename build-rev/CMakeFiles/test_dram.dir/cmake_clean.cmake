@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/tests/test_dram.cc.o"
+  "CMakeFiles/test_dram.dir/tests/test_dram.cc.o.d"
+  "test_dram"
+  "test_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

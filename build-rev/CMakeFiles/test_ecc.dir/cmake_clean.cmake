@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/tests/test_ecc.cc.o"
+  "CMakeFiles/test_ecc.dir/tests/test_ecc.cc.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

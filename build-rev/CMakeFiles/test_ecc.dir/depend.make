@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ecc.
+# This may be replaced when dependencies are built.

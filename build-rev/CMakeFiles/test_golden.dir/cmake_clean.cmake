@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden.dir/tests/test_golden.cc.o"
+  "CMakeFiles/test_golden.dir/tests/test_golden.cc.o.d"
+  "test_golden"
+  "test_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

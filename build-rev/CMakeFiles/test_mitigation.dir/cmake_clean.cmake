@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitigation.dir/tests/test_mitigation.cc.o"
+  "CMakeFiles/test_mitigation.dir/tests/test_mitigation.cc.o.d"
+  "test_mitigation"
+  "test_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

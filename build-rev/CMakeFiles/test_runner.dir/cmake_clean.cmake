@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner.dir/tests/test_runner.cc.o"
+  "CMakeFiles/test_runner.dir/tests/test_runner.cc.o.d"
+  "test_runner"
+  "test_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_golden.dir/tests/test_sim_golden.cc.o"
+  "CMakeFiles/test_sim_golden.dir/tests/test_sim_golden.cc.o.d"
+  "test_sim_golden"
+  "test_sim_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmc.dir/tests/test_softmc.cc.o"
+  "CMakeFiles/test_softmc.dir/tests/test_softmc.cc.o.d"
+  "test_softmc"
+  "test_softmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

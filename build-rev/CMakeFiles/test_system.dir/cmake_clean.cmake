@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/tests/test_system.cc.o"
+  "CMakeFiles/test_system.dir/tests/test_system.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

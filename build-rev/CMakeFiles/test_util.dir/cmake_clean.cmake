@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/test_util.dir/tests/test_util.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

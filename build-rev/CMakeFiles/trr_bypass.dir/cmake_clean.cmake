@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trr_bypass.dir/examples/trr_bypass.cpp.o"
+  "CMakeFiles/trr_bypass.dir/examples/trr_bypass.cpp.o.d"
+  "examples/trr_bypass"
+  "examples/trr_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trr_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
