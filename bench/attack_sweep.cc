@@ -15,6 +15,13 @@
  *   RH_AS_FUZZ     fuzzed patterns generated (default 3)
  *   RH_AS_BUDGET   activations per pattern (default 8 * HC * 20)
  *   RH_AS_SEED     chip/pattern seed (default 2020)
+ *   RH_AS_BANKS    chip banks (default 1; use 16 with mappings)
+ *   RH_AS_MAPPING  controller address functions: preset name or mask
+ *                  file (default linear)
+ *   RH_AS_ATTACKER attacker's believed mapping (default: the true one,
+ *                  i.e. a zenhammer-style attacker; set to linear with
+ *                  a non-linear RH_AS_MAPPING for a naive attacker)
+ *   RH_AS_RANKS    ranks the mapping splits the banks across (default 1)
  *   RH_THREADS     worker threads (results identical for any value)
  */
 
@@ -44,6 +51,12 @@ main()
     config.seed =
         static_cast<std::uint64_t>(bench::envLong("RH_AS_SEED", 2020));
     config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
+    config.geometry.banks =
+        static_cast<int>(bench::envLong("RH_AS_BANKS", 1));
+    config.mapping = bench::envString("RH_AS_MAPPING", "linear");
+    config.attackerMapping = bench::envString("RH_AS_ATTACKER", "");
+    config.mappingRanks =
+        static_cast<int>(bench::envLong("RH_AS_RANKS", 1));
 
     const std::int64_t budget = config.activationBudget > 0
         ? config.activationBudget
@@ -54,7 +67,13 @@ main()
     std::cout << "chip HCfirst=" << config.hcFirst
               << " sampler sizes={2,4,8}"
               << " budget=" << budget
-              << " acts/tREFI=" << config.actsPerRefInterval << "\n\n";
+              << " acts/tREFI=" << config.actsPerRefInterval
+              << " mapping=" << config.mapping
+              << " attacker="
+              << (config.attackerMapping.empty()
+                      ? "mapping-aware"
+                      : config.attackerMapping)
+              << "\n\n";
 
     const auto cells = attack::runSweep(config);
 

@@ -28,6 +28,15 @@ envLong(const char *name, long fallback)
     return fallback;
 }
 
+/** String knob from the environment with a default. */
+inline std::string
+envString(const char *name, const std::string &fallback)
+{
+    if (const char *value = std::getenv(name))
+        return value;
+    return fallback;
+}
+
 /** All (type-node, manufacturer) combinations the paper has chips for. */
 inline std::vector<std::pair<fault::TypeNode, fault::Manufacturer>>
 allCombinations()

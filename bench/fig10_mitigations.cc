@@ -6,17 +6,24 @@
  *
  * Scaling knobs (environment, documented in EXPERIMENTS.md at the
  * repo root):
- *   RH_F10_MIXES  workload mixes, spread over the MPKI range (default 2)
- *   RH_F10_INSTR  instructions per core per run (default 100000)
- *   RH_F10_CORES  cores (default 8 per Table 6)
- *   RH_THREADS    sweep worker threads (default: one per hardware
- *                 thread; results are identical for any value)
+ *   RH_F10_MIXES    workload mixes, spread over the MPKI range (default 2)
+ *   RH_F10_INSTR    instructions per core per run (default 100000)
+ *   RH_F10_CORES    cores (default 8 per Table 6)
+ *   RH_F10_RANKS    DRAM ranks (default 1 per Table 6)
+ *   RH_F10_MAPPING  address functions: a preset name (linear, bank-xor,
+ *                   rank-xor) or a mask-file path (default linear)
+ *   RH_F10_SPREAD   1 = stride app regions over the whole channel
+ *                   (multi-rank runs; default 0 = legacy packing)
+ *   RH_THREADS      sweep worker threads (default: one per hardware
+ *                   thread; results are identical for any value)
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hh"
 #include "core/experiment.hh"
+#include "dram/address_functions.hh"
 #include "util/logging.hh"
 
 using namespace rowhammer;
@@ -51,6 +58,20 @@ main()
     config.coldBytesPerApp =
         bench::envLong("RH_F10_COLD_MB", 2) * 1024 * 1024;
 
+    // Address-translation axis: rank count, mapping preset/mask file,
+    // and optional app-region spreading across the full channel.
+    config.system.organization.ranks =
+        static_cast<int>(bench::envLong("RH_F10_RANKS", 1));
+    const std::string mapping =
+        bench::envString("RH_F10_MAPPING", "linear");
+    config.system.addressFunctions = dram::AddressFunctions::resolve(
+        mapping, config.system.organization);
+    if (bench::envLong("RH_F10_SPREAD", 0) != 0) {
+        config.appRegionStride =
+            config.system.organization.totalBytes() /
+            config.system.cores;
+    }
+
     // Spread the selected mixes across the catalogue's MPKI range.
     for (int i = 0; i < config.mixCount; ++i) {
         config.mixIndices.push_back(
@@ -67,7 +88,10 @@ main()
 
     std::cout << "mixes=" << config.mixCount
               << " instructions/core=" << config.instructionsPerCore
-              << " cores=" << config.system.cores << "\n\n";
+              << " cores=" << config.system.cores
+              << " ranks=" << config.system.organization.ranks
+              << " mapping=" << config.system.addressFunctions.name
+              << "\n\n";
 
     core::ExperimentRunner runner(config);
     const auto points = runner.sweep(hc_firsts);

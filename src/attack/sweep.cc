@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "attack/builder.hh"
+#include "attack/trace_adapter.hh"
+#include "dram/address_functions.hh"
 #include "dram/timing.hh"
 #include "mitigation/ideal.hh"
 #include "mitigation/mrloc.hh"
@@ -105,6 +109,47 @@ runSweep(const SweepConfig &config)
     const int bank = probe.weakestBank();
     const int victim = probe.weakestRow();
 
+    // With a non-linear mapping (or a mapping-naive attacker) the
+    // patterns are built in the attacker's believed DRAM space and
+    // re-expressed in the controller's true space; the legacy linear
+    // path stays byte-identical by skipping translation entirely.
+    const std::string attacker_mapping = config.attackerMapping.empty()
+        ? config.mapping
+        : config.attackerMapping;
+    const bool mapped =
+        config.mapping != "linear" || attacker_mapping != "linear";
+
+    std::optional<sim::AddressMapper> actual;
+    std::optional<sim::AddressMapper> assumed;
+    int believed_bank = bank;
+    int believed_victim = victim;
+    if (mapped) {
+        if (config.mappingRanks < 1 ||
+            config.geometry.banks % config.mappingRanks != 0) {
+            util::fatal("attack sweep: mappingRanks must divide the "
+                        "geometry's bank count");
+        }
+        dram::Organization org;
+        org.ranks = config.mappingRanks;
+        const int per_rank = config.geometry.banks / config.mappingRanks;
+        org.bankGroups = per_rank % 4 == 0 ? 4 : 1;
+        org.banksPerGroup = per_rank / org.bankGroups;
+        org.rows = config.geometry.rows;
+        actual.emplace(org,
+                       dram::AddressFunctions::resolve(config.mapping,
+                                                       org));
+        assumed.emplace(org, dram::AddressFunctions::resolve(
+                                 attacker_mapping, org));
+        // The attacker knows the victim's physical address (it saw a
+        // flip there) and locates it in its believed DRAM space.
+        dram::Address victim_addr = org.bankAddress(bank);
+        victim_addr.row = victim;
+        const dram::Address believed =
+            assumed->decode(actual->encode(victim_addr));
+        believed_bank = org.flatBank(believed);
+        believed_victim = believed.row;
+    }
+
     BuilderConfig builder_config;
     builder_config.rows = config.geometry.rows;
     builder_config.step = probe.aggressorStep();
@@ -113,13 +158,26 @@ runSweep(const SweepConfig &config)
     PatternBuilder builder(builder_config, config.seed);
 
     std::vector<AccessPattern> patterns;
-    patterns.push_back(builder.singleSided(bank, victim));
-    patterns.push_back(builder.doubleSided(bank, victim));
+    patterns.push_back(builder.singleSided(believed_bank, believed_victim));
+    patterns.push_back(builder.doubleSided(believed_bank, believed_victim));
     for (int n : config.nSides)
-        patterns.push_back(builder.nSided(bank, victim, n));
+        patterns.push_back(builder.nSided(believed_bank, believed_victim,
+                                          n));
     for (int f = 0; f < config.fuzzCount; ++f) {
         patterns.push_back(builder.fuzzed(
-            bank, victim, static_cast<std::uint64_t>(f)));
+            believed_bank, believed_victim,
+            static_cast<std::uint64_t>(f)));
+    }
+
+    if (mapped) {
+        const bool naive = attacker_mapping != config.mapping;
+        for (AccessPattern &pattern : patterns) {
+            RemappedPattern landed =
+                remapPattern(pattern, *assumed, *actual);
+            landed.pattern.label +=
+                "@" + config.mapping + (naive ? "!naive" : "");
+            pattern = std::move(landed.pattern);
+        }
     }
 
     const std::vector<MechDesc> mechs = mechanismRoster(config);
@@ -132,6 +190,15 @@ runSweep(const SweepConfig &config)
         patterns.size() * mechs.size(), [&](std::size_t cell) {
             const std::size_t pi = cell / mechs.size();
             const std::size_t mi = cell % mechs.size();
+
+            // A fully scattered pattern (every believed aggressor
+            // landed outside the victim's bank) hammers nothing.
+            if (patterns[pi].slots.empty()) {
+                SweepCell out;
+                out.pattern = patterns[pi].label;
+                out.mechanism = mechs[mi].label;
+                return out;
+            }
 
             // Per-cell state derives only from (config seed, cell
             // index): identical tables for any thread count.

@@ -49,6 +49,22 @@ struct SweepConfig
     std::int64_t activationBudget = 0;
     /** Session REF cadence (see SessionConfig). */
     std::int64_t actsPerRefInterval = 240;
+    /**
+     * Controller address-mapping spec (preset name or mask-file path;
+     * see dram::AddressFunctions). "linear" replays patterns in DRAM
+     * space directly — the historical behavior.
+     */
+    std::string mapping = "linear";
+    /**
+     * Mapping the attacker *believes* when turning its pattern into
+     * physical addresses; empty = the true mapping (a zenhammer-style
+     * attacker that recovered the masks and inverts them exactly). Set
+     * to "linear" with a non-linear `mapping` to model a naive
+     * attacker whose aggressors scatter across banks.
+     */
+    std::string attackerMapping;
+    /** Ranks the mapping splits geometry.banks across (>= 1). */
+    int mappingRanks = 1;
     /** Worker threads (0 = one per hardware thread); results do not
      *  depend on this. */
     int threads = 0;

@@ -1,9 +1,59 @@
 #include "trace_adapter.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/logging.hh"
 
 namespace rowhammer::attack
 {
+
+RemappedPattern
+remapPattern(const AccessPattern &believed,
+             const sim::AddressMapper &assumed,
+             const sim::AddressMapper &actual)
+{
+    const dram::Organization &org = actual.organization();
+
+    auto translate = [&](int row) {
+        dram::Address addr =
+            assumed.organization().bankAddress(believed.bank);
+        addr.row = row;
+        return actual.decode(assumed.encode(addr));
+    };
+
+    const dram::Address victim = translate(believed.victimRow);
+    const int victim_bank = org.flatBank(victim);
+
+    RemappedPattern out;
+    out.pattern = believed;
+    out.pattern.bank = victim_bank;
+    out.pattern.victimRow = victim.row;
+    out.pattern.slots.clear();
+
+    // Keep the believed radius when it already covers every landed
+    // slot, so an exact-inverse remap returns the pattern unchanged.
+    int radius = believed.blastRadius;
+    for (const AggressorSlot &slot : believed.slots) {
+        const dram::Address landed = translate(slot.row);
+        const bool duplicate = std::any_of(
+            out.pattern.slots.begin(), out.pattern.slots.end(),
+            [&](const AggressorSlot &kept) {
+                return kept.row == landed.row;
+            });
+        if (org.flatBank(landed) != victim_bank ||
+            landed.row == victim.row || duplicate) {
+            ++out.droppedSlots;
+            continue;
+        }
+        AggressorSlot kept = slot;
+        kept.row = landed.row;
+        radius = std::max(radius, std::abs(landed.row - victim.row));
+        out.pattern.slots.push_back(kept);
+    }
+    out.pattern.blastRadius = radius;
+    return out;
+}
 
 TraceAdapter::TraceAdapter(AccessPattern pattern,
                            sim::AddressMapper mapper, int bubbles)
@@ -31,12 +81,7 @@ dram::Address
 TraceAdapter::address(int row, std::int64_t visit) const
 {
     const dram::Organization &org = mapper_.organization();
-    dram::Address addr;
-    const int banks_per_rank = org.bankGroups * org.banksPerGroup;
-    addr.rank = pattern_.bank / banks_per_rank;
-    const int in_rank = pattern_.bank % banks_per_rank;
-    addr.bankGroup = in_rank / org.banksPerGroup;
-    addr.bank = in_rank % org.banksPerGroup;
+    dram::Address addr = org.bankAddress(pattern_.bank);
     addr.row = row;
     // Rotate the column per visit: consecutive reads of a row touch
     // distinct cache lines, so a cache between the core and the

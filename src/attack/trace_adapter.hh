@@ -26,6 +26,37 @@
 namespace rowhammer::attack
 {
 
+/**
+ * A pattern re-expressed in the controller's true DRAM space (see
+ * remapPattern). droppedSlots counts believed aggressors that do not
+ * hammer the victim: landed in another bank, collapsed onto the
+ * victim row itself (merely refreshing it), or collided with an
+ * already-kept row. Their activations are removed from the schedule.
+ */
+struct RemappedPattern
+{
+    AccessPattern pattern;
+    int droppedSlots = 0;
+};
+
+/**
+ * The mapping side of a real attack: an attacker who profiled a victim
+ * at some physical address builds its pattern in the DRAM space of the
+ * address functions it *believes* the controller uses (`assumed`),
+ * then issues physical addresses by inverting that belief. The
+ * controller decodes them with the *actual* functions. This helper
+ * computes where the believed pattern really lands: slots are
+ * translated believed-space -> physical -> actual-space; slots that
+ * leave the victim's true bank (or collapse onto the victim row, which
+ * merely refreshes it) are dropped. When assumed and actual agree —
+ * the zenhammer scenario, where the attacker recovered the true masks
+ * — the pattern is returned unchanged: inverting the mapping is
+ * exactly what lands every aggressor in one bank.
+ */
+RemappedPattern remapPattern(const AccessPattern &believed,
+                             const sim::AddressMapper &assumed,
+                             const sim::AddressMapper &actual);
+
 /** See the file comment. */
 class TraceAdapter : public cpu::TraceSource
 {

@@ -8,7 +8,8 @@ namespace rowhammer::core
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config),
       mixes_(workload::mixCatalogue(config.system.cores,
-                                    config.coldBytesPerApp))
+                                    config.coldBytesPerApp,
+                                    config.appRegionStride))
 {
     if (config_.mixCount < 1 ||
         config_.mixCount > static_cast<int>(mixes_.size())) {

@@ -63,6 +63,10 @@ struct ExperimentConfig
     /** Per-app cold footprint; scale together with the DRAM array and
      *  LLC when shortening runs (see mixCatalogue). */
     std::int64_t coldBytesPerApp = 256LL * 1024 * 1024;
+    /** Physical-address stride between apps' regions; 0 = packed at
+     *  coldBytesPerApp (legacy). Multi-rank geometries set this to
+     *  organization.totalBytes() / cores to span every rank. */
+    std::int64_t appRegionStride = 0;
     std::uint64_t seed = 1;
     /** Worker threads for sweep()/prepare(); 0 = one per hardware
      *  thread. Results do not depend on this. */

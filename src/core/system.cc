@@ -32,7 +32,8 @@ System::System(SystemConfig config,
                const std::vector<workload::AppProfile> &apps,
                std::uint64_t seed)
     : config_(config),
-      controller_(config.organization, config.timing),
+      controller_(config.organization, config.timing,
+                  sim::Controller::Config{}, config.addressFunctions),
       llc_(config.llcBytes, config.llcWays, config.lineBytes)
 {
     if (static_cast<int>(apps.size()) != config_.cores)

@@ -9,6 +9,7 @@
 #ifndef ROWHAMMER_CORE_SYSTEM_HH
 #define ROWHAMMER_CORE_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,8 @@ struct SystemConfig
     int mshrPerCore = 16;
     dram::Organization organization = dram::table6Organization();
     dram::TimingSpec timing = dram::ddr4_2400();
+    /** Physical-address translation (default: the linear layout). */
+    dram::AddressFunctions addressFunctions;
 };
 
 /** Results of one system run. */

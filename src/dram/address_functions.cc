@@ -1,0 +1,368 @@
+#include "address_functions.hh"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rowhammer::dram
+{
+
+namespace
+{
+
+bool
+isPow2(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2Of(std::int64_t v)
+{
+    int bits = 0;
+    while ((std::int64_t{1} << bits) < v)
+        ++bits;
+    return bits;
+}
+
+/** Identity masks for one field at its linear-layout bit positions. */
+std::vector<std::uint64_t>
+identityMasks(int base, int bits)
+{
+    std::vector<std::uint64_t> masks(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i)
+        masks[static_cast<std::size_t>(i)] = std::uint64_t{1}
+            << (base + i);
+    return masks;
+}
+
+/**
+ * Invert a square GF(2) matrix given as LSB-first rows. Returns false
+ * when singular. Gauss-Jordan over 64-bit row masks.
+ */
+bool
+invertMatrix(std::vector<std::uint64_t> rows,
+             std::vector<std::uint64_t> &inverse)
+{
+    const std::size_t n = rows.size();
+    inverse.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        inverse[i] = std::uint64_t{1} << i;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        const std::uint64_t bit = std::uint64_t{1} << col;
+        std::size_t pivot = col;
+        while (pivot < n && !(rows[pivot] & bit))
+            ++pivot;
+        if (pivot == n)
+            return false;
+        std::swap(rows[col], rows[pivot]);
+        std::swap(inverse[col], inverse[pivot]);
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r != col && (rows[r] & bit)) {
+                rows[r] ^= rows[col];
+                inverse[r] ^= inverse[col];
+            }
+        }
+    }
+    return true;
+}
+
+struct LevelRef
+{
+    const char *name;
+    std::vector<std::uint64_t> AddressFunctions::*masks;
+    int AddressBitLayout::*bits;
+};
+
+constexpr LevelRef levels[] = {
+    {"column", &AddressFunctions::columnMasks,
+     &AddressBitLayout::columnBits},
+    {"bankgroup", &AddressFunctions::bankGroupMasks,
+     &AddressBitLayout::bankGroupBits},
+    {"bank", &AddressFunctions::bankMasks, &AddressBitLayout::bankBits},
+    {"rank", &AddressFunctions::rankMasks, &AddressBitLayout::rankBits},
+    {"row", &AddressFunctions::rowMasks, &AddressBitLayout::rowBits},
+};
+
+/** Stack the per-level masks into decode-matrix rows (LSB first). */
+std::vector<std::uint64_t>
+stackRows(const AddressFunctions &fns, const AddressBitLayout &layout)
+{
+    std::vector<std::uint64_t> rows;
+    rows.reserve(static_cast<std::size_t>(layout.totalBits()));
+    for (int i = 0; i < layout.offsetBits; ++i)
+        rows.push_back(std::uint64_t{1} << i);
+    for (const LevelRef &level : levels) {
+        const auto &masks = fns.*(level.masks);
+        rows.insert(rows.end(), masks.begin(), masks.end());
+    }
+    return rows;
+}
+
+bool
+fail(std::string *why, const std::string &message)
+{
+    if (why)
+        *why += message;
+    return false;
+}
+
+} // namespace
+
+AddressBitLayout
+AddressBitLayout::of(const Organization &org, bool *ok)
+{
+    AddressBitLayout layout;
+    const bool pow2 = isPow2(org.bytesPerColumn) && isPow2(org.columns) &&
+        isPow2(org.bankGroups) && isPow2(org.banksPerGroup) &&
+        isPow2(org.ranks) && isPow2(org.rows);
+    if (ok)
+        *ok = pow2;
+    if (!pow2)
+        return layout;
+    layout.offsetBits = log2Of(org.bytesPerColumn);
+    layout.columnBits = log2Of(org.columns);
+    layout.bankGroupBits = log2Of(org.bankGroups);
+    layout.bankBits = log2Of(org.banksPerGroup);
+    layout.rankBits = log2Of(org.ranks);
+    layout.rowBits = log2Of(org.rows);
+    return layout;
+}
+
+AddressFunctions
+AddressFunctions::linear()
+{
+    return AddressFunctions{};
+}
+
+std::vector<std::string>
+AddressFunctions::presetNames()
+{
+    return {"linear", "bank-xor", "rank-xor"};
+}
+
+AddressFunctions
+AddressFunctions::preset(const std::string &name, const Organization &org)
+{
+    if (name == "linear")
+        return linear();
+
+    bool pow2 = false;
+    const AddressBitLayout layout = AddressBitLayout::of(org, &pow2);
+    if (!pow2) {
+        util::fatal("AddressFunctions: preset '" + name +
+                    "' needs a power-of-two geometry in every field");
+    }
+
+    AddressFunctions fns;
+    fns.scheme = Scheme::Xor;
+    fns.name = name;
+    fns.columnMasks = identityMasks(layout.columnBase(),
+                                    layout.columnBits);
+    fns.bankGroupMasks =
+        identityMasks(layout.bankGroupBase(), layout.bankGroupBits);
+    fns.bankMasks = identityMasks(layout.bankBase(), layout.bankBits);
+    fns.rankMasks = identityMasks(layout.rankBase(), layout.rankBits);
+    fns.rowMasks = identityMasks(layout.rowBase(), layout.rowBits);
+
+    if (name != "bank-xor" && name != "rank-xor") {
+        std::string known;
+        for (const std::string &p : presetNames())
+            known += (known.empty() ? "" : ", ") + p;
+        util::fatal("AddressFunctions: unknown preset '" + name +
+                    "' (known: " + known + ")");
+    }
+
+    // DRAMA-style interleaving: fold the low row bits into the bank
+    // selects so same-bank row conflicts (the streaming worst case and
+    // the double-sided hammer) spread across banks.
+    const int bank_select_bits = layout.bankGroupBits + layout.bankBits;
+    const int rank_select_bits =
+        name == "rank-xor" ? layout.rankBits : 0;
+    if (layout.rowBits < bank_select_bits + rank_select_bits) {
+        util::fatal("AddressFunctions: preset '" + name +
+                    "' needs at least as many row bits as bank/rank "
+                    "select bits");
+    }
+    int row_bit = layout.rowBase();
+    for (int i = 0; i < layout.bankGroupBits; ++i)
+        fns.bankGroupMasks[static_cast<std::size_t>(i)] |=
+            std::uint64_t{1} << row_bit++;
+    for (int i = 0; i < layout.bankBits; ++i)
+        fns.bankMasks[static_cast<std::size_t>(i)] |= std::uint64_t{1}
+            << row_bit++;
+
+    if (name == "rank-xor") {
+        if (org.ranks < 2) {
+            util::fatal("AddressFunctions: preset 'rank-xor' is the "
+                        "multi-rank variant; the geometry has 1 rank");
+        }
+        for (int i = 0; i < layout.rankBits; ++i)
+            fns.rankMasks[static_cast<std::size_t>(i)] |=
+                std::uint64_t{1} << row_bit++;
+    }
+
+    std::string why;
+    if (!fns.valid(org, &why))
+        util::fatal("AddressFunctions: preset '" + name + "': " + why);
+    return fns;
+}
+
+AddressFunctions
+AddressFunctions::parse(std::istream &in, const Organization &org,
+                        const std::string &name)
+{
+    AddressFunctions fns;
+    fns.scheme = Scheme::Xor;
+    fns.name = name;
+
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream tokens(line);
+        std::string level, mask_text;
+        if (!(tokens >> level))
+            continue; // Blank or comment-only line.
+        std::string trailing;
+        if (!(tokens >> mask_text) || (tokens >> trailing)) {
+            util::fatal("AddressFunctions: " + name + " line " +
+                        std::to_string(line_no) +
+                        ": expected '<level> <mask>'");
+        }
+        std::uint64_t mask = 0;
+        try {
+            std::size_t used = 0;
+            mask = std::stoull(mask_text, &used, 0);
+            if (used != mask_text.size())
+                throw std::invalid_argument(mask_text);
+        } catch (const std::exception &) {
+            util::fatal("AddressFunctions: " + name + " line " +
+                        std::to_string(line_no) + ": bad mask '" +
+                        mask_text + "'");
+        }
+        bool matched = false;
+        for (const LevelRef &ref : levels) {
+            if (level == ref.name) {
+                (fns.*(ref.masks)).push_back(mask);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            util::fatal("AddressFunctions: " + name + " line " +
+                        std::to_string(line_no) + ": unknown level '" +
+                        level +
+                        "' (column, bankgroup, bank, rank, row)");
+        }
+    }
+
+    std::string why;
+    if (!fns.valid(org, &why))
+        util::fatal("AddressFunctions: " + name + ": " + why);
+    return fns;
+}
+
+AddressFunctions
+AddressFunctions::loadFile(const std::string &path,
+                           const Organization &org)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("AddressFunctions: cannot read mask file " + path);
+    return parse(in, org, path);
+}
+
+AddressFunctions
+AddressFunctions::resolve(const std::string &spec, const Organization &org)
+{
+    for (const std::string &name : presetNames()) {
+        if (spec == name)
+            return preset(spec, org);
+    }
+    return loadFile(spec, org);
+}
+
+bool
+AddressFunctions::valid(const Organization &org, std::string *why) const
+{
+    if (scheme == Scheme::Linear)
+        return true;
+
+    bool pow2 = false;
+    const AddressBitLayout layout = AddressBitLayout::of(org, &pow2);
+    if (!pow2) {
+        return fail(why, "xor functions need a power-of-two geometry "
+                         "in every field");
+    }
+    if (layout.totalBits() > 63)
+        return fail(why, "geometry exceeds 63 address bits");
+
+    for (const LevelRef &ref : levels) {
+        const auto &masks = this->*(ref.masks);
+        const int want = layout.*(ref.bits);
+        if (static_cast<int>(masks.size()) != want) {
+            return fail(why, std::string(ref.name) + " has " +
+                                 std::to_string(masks.size()) +
+                                 " masks, geometry needs " +
+                                 std::to_string(want));
+        }
+    }
+
+    const std::uint64_t offset_bits =
+        (std::uint64_t{1} << layout.offsetBits) - 1;
+    const std::uint64_t channel_bits =
+        (std::uint64_t{1} << layout.totalBits()) - 1;
+    for (const LevelRef &ref : levels) {
+        for (std::uint64_t mask : this->*(ref.masks)) {
+            if (mask == 0)
+                return fail(why, std::string(ref.name) +
+                                     " has an empty mask");
+            if (mask & offset_bits) {
+                return fail(why, std::string(ref.name) +
+                                     " mask covers in-column byte-"
+                                     "offset bits");
+            }
+            if (mask & ~channel_bits) {
+                return fail(why, std::string(ref.name) +
+                                     " mask exceeds the channel's "
+                                     "address bits");
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> inverse;
+    if (!invertMatrix(stackRows(*this, layout), inverse)) {
+        return fail(why, "stacked per-bit functions are singular (two "
+                         "output bits alias the same physical bits)");
+    }
+    return true;
+}
+
+CompiledAddressMatrix
+compileAddressFunctions(const AddressFunctions &fns,
+                        const Organization &org)
+{
+    if (fns.scheme == AddressFunctions::Scheme::Linear) {
+        util::panic("compileAddressFunctions: the linear scheme has no "
+                    "matrix");
+    }
+    std::string why;
+    if (!fns.valid(org, &why))
+        util::fatal("AddressFunctions '" + fns.name + "': " + why);
+
+    CompiledAddressMatrix out;
+    out.layout = AddressBitLayout::of(org);
+    out.decodeRows = stackRows(fns, out.layout);
+    if (!invertMatrix(out.decodeRows, out.encodeRows))
+        util::fatal("AddressFunctions '" + fns.name + "': singular");
+    return out;
+}
+
+} // namespace rowhammer::dram

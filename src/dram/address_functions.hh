@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Configurable physical-address-to-DRAM-address functions.
+ *
+ * Real memory controllers do not slice the physical address into
+ * contiguous column/bank/rank/row fields: they XOR row bits into the
+ * bank and rank selects so that row-conflict streams spread across
+ * banks (DRAMA-style functions; the zenhammer tooling exists to recover
+ * exactly these masks from real machines). This file captures such a
+ * mapping as pure data — one XOR mask over physical-address bits per
+ * output bit of each DRAM level, the same shape as zenhammer's
+ * dram_matrix — plus named presets and a mask-file parser. The
+ * GF(2) linear algebra (inversion, application) lives here too, so
+ * sim::AddressMapper can compile any valid spec into exact
+ * decode/encode inverses.
+ *
+ * The default-constructed spec is the `linear` scheme: the repository's
+ * historical mixed-radix layout (offset, column, bank group, bank,
+ * rank, row from LSB to MSB), which works for any geometry, including
+ * non-power-of-two field sizes. XOR specs require power-of-two
+ * geometry in every field.
+ */
+
+#ifndef ROWHAMMER_DRAM_ADDRESS_FUNCTIONS_HH
+#define ROWHAMMER_DRAM_ADDRESS_FUNCTIONS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dram/organization.hh"
+
+namespace rowhammer::dram
+{
+
+/**
+ * One address-translation spec. For Scheme::Xor, each level holds one
+ * mask per output bit (LSB first): output bit i of the level is the
+ * XOR-parity of the physical-address bits selected by masks[i].
+ * Masks must not cover the in-column byte-offset bits, and the stacked
+ * per-bit functions must form an invertible GF(2) matrix over the
+ * channel's address bits (valid() checks both).
+ */
+struct AddressFunctions
+{
+    enum class Scheme
+    {
+        Linear, ///< Historical mixed-radix layout; masks unused.
+        Xor,    ///< GF(2) per-bit XOR functions (zenhammer-style).
+    };
+
+    Scheme scheme = Scheme::Linear;
+    std::string name = "linear";
+    std::vector<std::uint64_t> columnMasks;
+    std::vector<std::uint64_t> bankGroupMasks;
+    std::vector<std::uint64_t> bankMasks;
+    std::vector<std::uint64_t> rankMasks;
+    std::vector<std::uint64_t> rowMasks;
+
+    /** The default linear layout (any geometry). */
+    static AddressFunctions linear();
+
+    /**
+     * Named preset for a geometry. Names:
+     *  - "linear":   the default mixed-radix layout;
+     *  - "bank-xor": linear bit positions, but the bank-group and bank
+     *    selects are XORed with the low row bits (DRAMA-style bank
+     *    interleaving of row-conflict streams);
+     *  - "rank-xor": bank-xor plus the rank select XORed with the next
+     *    row bits — the multi-rank Table 6 variant (requires >= 2
+     *    ranks).
+     * fatal() on an unknown name or a geometry the preset cannot fit.
+     */
+    static AddressFunctions preset(const std::string &name,
+                                   const Organization &org);
+
+    /** The preset names accepted by preset(). */
+    static std::vector<std::string> presetNames();
+
+    /**
+     * Parse a custom XOR spec. One line per output bit, LSB first
+     * within each level, `<level> <mask>` where level is one of
+     * column, bankgroup, bank, rank, row and mask is a C-style integer
+     * (0x.. hex recommended). '#' starts a comment. fatal() on syntax
+     * errors or an invalid resulting spec.
+     */
+    static AddressFunctions parse(std::istream &in, const Organization &org,
+                                  const std::string &name = "custom");
+
+    /** parse() a mask file from disk; fatal() if unreadable. */
+    static AddressFunctions loadFile(const std::string &path,
+                                     const Organization &org);
+
+    /**
+     * Resolve a user-facing mapping spec: a preset name, or anything
+     * else is treated as a mask-file path (benches' RH_*_MAPPING
+     * knobs).
+     */
+    static AddressFunctions resolve(const std::string &spec,
+                                    const Organization &org);
+
+    /**
+     * True iff the spec can translate addresses for `org`: Linear is
+     * always valid; Xor needs power-of-two fields, per-level mask
+     * counts matching the field widths, masks inside the channel and
+     * off the byte-offset bits, and an invertible stacked matrix.
+     * Appends the first violation to `why` when given.
+     */
+    bool valid(const Organization &org, std::string *why = nullptr) const;
+};
+
+/**
+ * Bit layout of the linearized DRAM address (the Xor scheme's
+ * intermediate form and the linear scheme's direct form): field base
+ * positions and widths, LSB to MSB offset | column | bank group | bank
+ * | rank | row.
+ */
+struct AddressBitLayout
+{
+    int offsetBits = 0;
+    int columnBits = 0;
+    int bankGroupBits = 0;
+    int bankBits = 0;
+    int rankBits = 0;
+    int rowBits = 0;
+
+    int columnBase() const { return offsetBits; }
+    int bankGroupBase() const { return columnBase() + columnBits; }
+    int bankBase() const { return bankGroupBase() + bankGroupBits; }
+    int rankBase() const { return bankBase() + bankBits; }
+    int rowBase() const { return rankBase() + rankBits; }
+    int totalBits() const { return rowBase() + rowBits; }
+
+    /**
+     * Layout of a power-of-two organization. `ok` is false (and the
+     * layout unusable) when any field is not a power of two.
+     */
+    static AddressBitLayout of(const Organization &org, bool *ok = nullptr);
+};
+
+/**
+ * An AddressFunctions spec compiled for one organization: the decode
+ * matrix (physical address -> linearized DRAM address) stacked from
+ * the per-level masks, and its computed GF(2) inverse for encode.
+ * Rows are LSB-first: bit i of the output is parity(rows[i] & input).
+ */
+struct CompiledAddressMatrix
+{
+    AddressBitLayout layout;
+    std::vector<std::uint64_t> decodeRows;
+    std::vector<std::uint64_t> encodeRows;
+
+    std::uint64_t applyDecode(std::uint64_t phys) const
+    {
+        return apply(decodeRows, phys);
+    }
+
+    std::uint64_t applyEncode(std::uint64_t linear) const
+    {
+        return apply(encodeRows, linear);
+    }
+
+  private:
+    static std::uint64_t apply(const std::vector<std::uint64_t> &rows,
+                               std::uint64_t x)
+    {
+        std::uint64_t out = 0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            out |= static_cast<std::uint64_t>(
+                       __builtin_parityll(rows[i] & x))
+                << i;
+        }
+        return out;
+    }
+};
+
+/**
+ * Compile an Xor spec against an organization (validating it along the
+ * way); fatal() on an invalid spec. Calling this with a Linear spec is
+ * a programming error (Linear needs no matrix).
+ */
+CompiledAddressMatrix compileAddressFunctions(const AddressFunctions &fns,
+                                              const Organization &org);
+
+} // namespace rowhammer::dram
+
+#endif // ROWHAMMER_DRAM_ADDRESS_FUNCTIONS_HH

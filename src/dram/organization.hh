@@ -63,6 +63,20 @@ struct Organization
         return static_cast<std::int64_t>(flatBank(addr)) * rows + addr.row;
     }
 
+    /**
+     * Inverse of flatBank(): the rank/bank-group/bank fields of a flat
+     * bank index (row and column zero).
+     */
+    Address bankAddress(int flat_bank) const
+    {
+        Address addr;
+        addr.rank = flat_bank / banksPerRank();
+        const int in_rank = flat_bank % banksPerRank();
+        addr.bankGroup = in_rank / banksPerGroup;
+        addr.bank = in_rank % banksPerGroup;
+        return addr;
+    }
+
     /** True iff all fields of addr are in range. */
     bool contains(const Address &addr) const
     {

@@ -24,6 +24,7 @@
 #define ROWHAMMER_ECC_HAMMING_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "util/bitvec.hh"
 

@@ -12,7 +12,9 @@
 #define ROWHAMMER_MITIGATION_IDEAL_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mitigation/mitigation.hh"
 

@@ -8,6 +8,9 @@
 #ifndef ROWHAMMER_MITIGATION_INCREFRESH_HH
 #define ROWHAMMER_MITIGATION_INCREFRESH_HH
 
+#include <string>
+#include <vector>
+
 #include "dram/timing.hh"
 #include "mitigation/mitigation.hh"
 

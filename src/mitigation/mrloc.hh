@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mitigation/mitigation.hh"
 #include "util/rng.hh"

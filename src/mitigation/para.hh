@@ -9,6 +9,9 @@
 #ifndef ROWHAMMER_MITIGATION_PARA_HH
 #define ROWHAMMER_MITIGATION_PARA_HH
 
+#include <string>
+#include <vector>
+
 #include "dram/timing.hh"
 #include "mitigation/mitigation.hh"
 #include "util/rng.hh"

@@ -18,7 +18,9 @@
 #define ROWHAMMER_MITIGATION_PROFILE_GUIDED_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mitigation/mitigation.hh"
 

@@ -14,6 +14,7 @@
 #ifndef ROWHAMMER_MITIGATION_PROHIT_HH
 #define ROWHAMMER_MITIGATION_PROHIT_HH
 
+#include <string>
 #include <vector>
 
 #include "mitigation/mitigation.hh"

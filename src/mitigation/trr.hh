@@ -25,6 +25,7 @@
 #define ROWHAMMER_MITIGATION_TRR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mitigation/mitigation.hh"

@@ -18,7 +18,9 @@
 #define ROWHAMMER_MITIGATION_TWICE_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dram/timing.hh"
 #include "mitigation/mitigation.hh"

@@ -30,13 +30,21 @@ Controller::Controller(dram::Organization org, dram::TimingSpec timing)
 
 Controller::Controller(dram::Organization org, dram::TimingSpec timing,
                        Config config)
-    : org_(org), device_(org, timing), mapper_(org), config_(config)
+    : Controller(org, timing, config, dram::AddressFunctions::linear())
+{
+}
+
+Controller::Controller(dram::Organization org, dram::TimingSpec timing,
+                       Config config, dram::AddressFunctions functions)
+    : org_(org), device_(org, timing),
+      mapper_(org, std::move(functions)), config_(config)
 {
     if (config_.writeLowWatermark >= config_.writeHighWatermark ||
         config_.writeHighWatermark > config_.writeQueueSize) {
         util::fatal("Controller: inconsistent write watermarks");
     }
     nextRefreshAt_ = timing.tREFI;
+    stats_.ranks = org_.ranks;
     bankLastUse_.assign(static_cast<std::size_t>(org_.totalBanks()), 0);
     protectedMask_.assign(
         (static_cast<std::size_t>(org_.totalBanks()) + 63) / 64, 0);
@@ -106,13 +114,8 @@ Controller::idle() const
 dram::Address
 Controller::victimAddress(const mitigation::VictimRef &ref) const
 {
-    dram::Address a;
-    a.rank = ref.flatBank / org_.banksPerRank();
-    const int in_rank = ref.flatBank % org_.banksPerRank();
-    a.bankGroup = in_rank / org_.banksPerGroup;
-    a.bank = in_rank % org_.banksPerGroup;
+    dram::Address a = org_.bankAddress(ref.flatBank);
     a.row = ref.row;
-    a.column = 0;
     return a;
 }
 
@@ -145,8 +148,10 @@ Controller::tryIssueRefresh()
     const double mult =
         mitigation_ ? mitigation_->refreshRateMultiplier() : 1.0;
 
-    if (!refreshPending_ && now_ >= nextRefreshAt_)
+    if (!refreshPending_ && now_ >= nextRefreshAt_) {
         refreshPending_ = true;
+        refreshRanksLeft_ = org_.ranks;
+    }
     if (!refreshPending_)
         return false;
 
@@ -169,25 +174,32 @@ Controller::tryIssueRefresh()
         }
     }
 
+    // REF is a per-rank command: one per rank per boundary, back to
+    // back (with one rank this is exactly the historical single REF).
     addr = dram::Address{};
+    addr.rank = org_.ranks - refreshRanksLeft_;
     if (!device_.canIssue(dram::Command::REF, addr, now_))
         return true; // Banks closed but timing not met yet; keep waiting.
 
     device_.issue(dram::Command::REF, addr, now_);
     acted_ = true;
     ++stats_.autoRefreshes;
-    refreshPending_ = false;
-    const auto interval = static_cast<dram::Cycle>(
-        static_cast<double>(device_.timing().tREFI) / std::max(1.0, mult));
-    nextRefreshAt_ = now_ + std::max<dram::Cycle>(interval, 1);
 
     // Auto-refresh time beyond the baseline refresh rate is mitigation
-    // overhead (increased-refresh-rate mechanism).
+    // overhead (increased-refresh-rate mechanism); each rank pays tRFC.
     if (mult > 1.0) {
         stats_.mitigationBusyCycles +=
             static_cast<double>(device_.timing().tRFC) *
             (mult - 1.0) / mult;
     }
+
+    if (--refreshRanksLeft_ > 0)
+        return true;
+
+    refreshPending_ = false;
+    const auto interval = static_cast<dram::Cycle>(
+        static_cast<double>(device_.timing().tREFI) / std::max(1.0, mult));
+    nextRefreshAt_ = now_ + std::max<dram::Cycle>(interval, 1);
 
     if (mitigation_) {
         const int rows_per_ref = std::max(
@@ -540,9 +552,11 @@ Controller::computeWake() const
                 }
             }
         }
+        dram::Address ref_addr{};
+        ref_addr.rank = org_.ranks - refreshRanksLeft_;
         return std::max(
             std::min(wake, device_.earliest(dram::Command::REF,
-                                            dram::Address{}, now_)),
+                                            ref_addr, now_)),
             now_);
     }
 

@@ -20,10 +20,12 @@
 #ifndef ROWHAMMER_SIM_CONTROLLER_HH
 #define ROWHAMMER_SIM_CONTROLLER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "dram/device.hh"
@@ -47,6 +49,9 @@ struct ControllerStats
      *  refresh rate. */
     double mitigationBusyCycles = 0.0;
     std::int64_t readQueueFullEvents = 0;
+    /** Geometry's rank count (set by the controller); busy time
+     *  accumulates per rank, so overhead normalizes by rank-time. */
+    int ranks = 1;
 
     /** Paper Figure 10a metric: percent of DRAM time spent on the
      *  mitigation mechanism. */
@@ -55,7 +60,8 @@ struct ControllerStats
         if (cycles == 0)
             return 0.0;
         return 100.0 * mitigationBusyCycles /
-            static_cast<double>(cycles);
+            (static_cast<double>(cycles) *
+             static_cast<double>(std::max(1, ranks)));
     }
 };
 
@@ -85,6 +91,9 @@ class Controller
     Controller(dram::Organization org, dram::TimingSpec timing);
     Controller(dram::Organization org, dram::TimingSpec timing,
                Config config);
+    /** With an explicit address-translation spec (default: linear). */
+    Controller(dram::Organization org, dram::TimingSpec timing,
+               Config config, dram::AddressFunctions functions);
 
     /** Attach a mitigation mechanism (nullptr = none). Not owned. */
     void setMitigation(mitigation::Mitigation *mechanism);
@@ -179,6 +188,9 @@ class Controller
     dram::Cycle nextRefreshAt_ = 0;
     std::uint64_t refIndex_ = 0;
     bool refreshPending_ = false;
+    /** Ranks still owed a REF in the pending refresh burst (REF is a
+     *  per-rank command; every rank gets one per boundary). */
+    int refreshRanksLeft_ = 0;
     bool drainingWrites_ = false;
 
     /** No state can change before this cycle (event-engine cache);

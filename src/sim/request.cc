@@ -1,19 +1,45 @@
 #include "request.hh"
 
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace rowhammer::sim
 {
 
-AddressMapper::AddressMapper(dram::Organization org) : org_(org)
+AddressMapper::AddressMapper(dram::Organization org)
+    : AddressMapper(org, dram::AddressFunctions::linear())
+{
+}
+
+AddressMapper::AddressMapper(dram::Organization org,
+                             dram::AddressFunctions functions)
+    : org_(org), fns_(std::move(functions))
 {
     org_.check();
+    if (fns_.scheme == dram::AddressFunctions::Scheme::Xor)
+        matrix_ = dram::compileAddressFunctions(fns_, org_);
 }
 
 dram::Address
 AddressMapper::decode(std::uint64_t addr) const
 {
     dram::Address out;
+    if (fns_.scheme == dram::AddressFunctions::Scheme::Xor) {
+        const auto &layout = matrix_.layout;
+        const std::uint64_t lin = matrix_.applyDecode(addr);
+        out.column = static_cast<int>(
+            (lin >> layout.columnBase()) & (org_.columns - 1));
+        out.bankGroup = static_cast<int>(
+            (lin >> layout.bankGroupBase()) & (org_.bankGroups - 1));
+        out.bank = static_cast<int>((lin >> layout.bankBase()) &
+                                    (org_.banksPerGroup - 1));
+        out.rank = static_cast<int>((lin >> layout.rankBase()) &
+                                    (org_.ranks - 1));
+        out.row = static_cast<int>((lin >> layout.rowBase()) &
+                                   (org_.rows - 1));
+        return out;
+    }
     std::uint64_t x = addr / static_cast<std::uint64_t>(org_.bytesPerColumn);
     out.column = static_cast<int>(x % static_cast<std::uint64_t>(
                                           org_.columns));
@@ -36,6 +62,20 @@ AddressMapper::encode(const dram::Address &addr) const
 {
     if (!org_.contains(addr))
         util::panic("AddressMapper::encode: address out of range");
+    if (fns_.scheme == dram::AddressFunctions::Scheme::Xor) {
+        const auto &layout = matrix_.layout;
+        const std::uint64_t lin =
+            (static_cast<std::uint64_t>(addr.column)
+             << layout.columnBase()) |
+            (static_cast<std::uint64_t>(addr.bankGroup)
+             << layout.bankGroupBase()) |
+            (static_cast<std::uint64_t>(addr.bank)
+             << layout.bankBase()) |
+            (static_cast<std::uint64_t>(addr.rank)
+             << layout.rankBase()) |
+            (static_cast<std::uint64_t>(addr.row) << layout.rowBase());
+        return matrix_.applyEncode(lin);
+    }
     std::uint64_t x = static_cast<std::uint64_t>(addr.row);
     x = x * static_cast<std::uint64_t>(org_.ranks) +
         static_cast<std::uint64_t>(addr.rank);

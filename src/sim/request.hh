@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "dram/address_functions.hh"
 #include "dram/organization.hh"
 #include "dram/types.hh"
 
@@ -34,25 +35,39 @@ struct Request
 };
 
 /**
- * Physical-address to device-address mapping. Layout (LSB to MSB):
- * 6-bit line offset, column, bank group, bank, rank, row — consecutive
- * cache lines fill a row before moving to the next bank, giving
- * row-buffer locality to streaming access patterns.
+ * Physical-address to device-address mapping, compiled from a
+ * dram::AddressFunctions spec. The default (linear) spec is the
+ * historical layout (LSB to MSB): 6-bit line offset, column, bank
+ * group, bank, rank, row — consecutive cache lines fill a row before
+ * moving to the next bank, giving row-buffer locality to streaming
+ * access patterns. XOR specs instead evaluate one GF(2) parity
+ * function per address bit (zenhammer-style bank/rank interleaving);
+ * encode() is the exact inverse of decode() for every valid spec.
  */
 class AddressMapper
 {
   public:
+    /** The default linear layout. */
     explicit AddressMapper(dram::Organization org);
+
+    /** Compile `functions` for `org`; fatal() on an invalid spec. */
+    AddressMapper(dram::Organization org,
+                  dram::AddressFunctions functions);
 
     dram::Address decode(std::uint64_t addr) const;
 
-    /** Inverse of decode (used by tests and trace generators). */
+    /** Inverse of decode (trace generators invert the mapping with
+     *  this — it is how an attacker lands aggressors in one bank). */
     std::uint64_t encode(const dram::Address &addr) const;
 
     const dram::Organization &organization() const { return org_; }
+    const dram::AddressFunctions &functions() const { return fns_; }
 
   private:
     dram::Organization org_;
+    dram::AddressFunctions fns_;
+    /** Compiled matrices (Xor scheme only; empty for Linear). */
+    dram::CompiledAddressMatrix matrix_;
 };
 
 } // namespace rowhammer::sim

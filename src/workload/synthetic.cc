@@ -64,8 +64,13 @@ Mix::expectedMpki() const
 }
 
 std::vector<Mix>
-mixCatalogue(int cores, std::int64_t cold_bytes_per_app)
+mixCatalogue(int cores, std::int64_t cold_bytes_per_app,
+             std::int64_t base_stride)
 {
+    if (base_stride != 0 && base_stride < cold_bytes_per_app) {
+        util::fatal("mixCatalogue: base_stride must fit each app's "
+                    "cold region");
+    }
     constexpr int mix_count = 48;
     std::vector<Mix> mixes;
     mixes.reserve(mix_count);
@@ -118,7 +123,8 @@ mixCatalogue(int cores, std::int64_t cold_bytes_per_app)
                 hot_cap, static_cast<std::int64_t>(
                              (256 + rng.uniformInt(0, 768)) * 1024));
             app.baseAddr = static_cast<std::uint64_t>(c) *
-                static_cast<std::uint64_t>(app.coldBytes);
+                static_cast<std::uint64_t>(
+                    base_stride != 0 ? base_stride : app.coldBytes);
             mix.apps.push_back(app);
         }
         mixes.push_back(std::move(mix));

@@ -91,10 +91,16 @@ struct Mix
  *     mitigation experiments shrink it (with the DRAM array and LLC)
  *     so that per-row activation intensity matches the paper's
  *     200M-instruction runs. Hot working sets scale along with it.
+ * @param base_stride Physical-address distance between consecutive
+ *     apps' regions; 0 (default) packs them back to back at
+ *     cold_bytes_per_app, the historical layout. Multi-rank runs set
+ *     this to channel_bytes / cores so the mix spans every rank
+ *     without inflating per-app footprints.
  */
 std::vector<Mix> mixCatalogue(int cores = 8,
                               std::int64_t cold_bytes_per_app =
-                                  256LL * 1024 * 1024);
+                                  256LL * 1024 * 1024,
+                              std::int64_t base_stride = 0);
 
 } // namespace rowhammer::workload
 

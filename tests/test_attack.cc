@@ -12,12 +12,15 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "attack/builder.hh"
 #include "attack/pattern.hh"
 #include "attack/session.hh"
+#include "attack/sweep.hh"
 #include "attack/trace_adapter.hh"
+#include "dram/address_functions.hh"
 #include "charlib/hcfirst.hh"
 #include "cpu/core.hh"
 #include "ecc/ondie.hh"
@@ -536,6 +539,184 @@ TEST(TraceAdapter, DrivesACoreAsTraceSource)
     for (std::size_t i = 0; i < addresses.size(); ++i) {
         EXPECT_EQ(mapper.decode(addresses[i]).row,
                   i % 2 == 0 ? 499 : 501);
+    }
+}
+
+// --------------------------------------------- address-mapping bridge
+
+/** A pow-2, multi-bank organization for the mapping tests. */
+dram::Organization
+mappedOrg(int ranks = 1)
+{
+    dram::Organization org;
+    org.ranks = ranks;
+    org.bankGroups = 4;
+    org.banksPerGroup = 4 / ranks;
+    org.rows = 4096;
+    org.columns = 128;
+    org.bytesPerColumn = 64;
+    org.check();
+    return org;
+}
+
+TEST(Remap, ExactInverseReturnsThePatternUnchanged)
+{
+    // The zenhammer scenario: the attacker recovered the true address
+    // functions and inverts them exactly — every aggressor lands where
+    // it was aimed, whatever the mapping is.
+    const dram::Organization org = mappedOrg();
+    PatternBuilder builder(testConfig(), 7);
+    for (const std::string preset : {"linear", "bank-xor"}) {
+        sim::AddressMapper mapper(
+            org, dram::AddressFunctions::preset(preset, org));
+        for (const AccessPattern &p :
+             allTestPatterns(builder, 5, 1000)) {
+            const RemappedPattern landed = remapPattern(p, mapper, mapper);
+            EXPECT_EQ(landed.droppedSlots, 0);
+            EXPECT_EQ(landed.pattern.bank, p.bank);
+            EXPECT_EQ(landed.pattern.victimRow, p.victimRow);
+            EXPECT_EQ(landed.pattern.blastRadius, p.blastRadius);
+            EXPECT_EQ(landed.pattern.slots, p.slots);
+        }
+    }
+}
+
+TEST(Remap, NaiveAttackerScattersUnderBankXor)
+{
+    // An attacker assuming the linear layout computes aggressor
+    // addresses by row arithmetic; under bank-xor the low row bits
+    // feed the bank selects, so the odd-offset aggressors (the whole
+    // blast radius) leave the victim's bank.
+    const dram::Organization org = mappedOrg();
+    sim::AddressMapper actual(
+        org, dram::AddressFunctions::preset("bank-xor", org));
+    sim::AddressMapper assumed(org);
+
+    PatternBuilder builder(testConfig(), 7);
+    const dram::Address victim_phys =
+        assumed.decode(actual.encode([&] {
+            dram::Address a = org.bankAddress(5);
+            a.row = 1000;
+            return a;
+        }()));
+    const AccessPattern believed = builder.doubleSided(
+        org.flatBank(victim_phys), victim_phys.row);
+
+    const RemappedPattern landed =
+        remapPattern(believed, assumed, actual);
+    EXPECT_EQ(landed.droppedSlots, 2);
+    EXPECT_TRUE(landed.pattern.slots.empty());
+}
+
+TEST(Remap, SweepWithAwareAttackerMatchesLinearCellValues)
+{
+    SweepConfig config;
+    config.hcFirst = 2000.0;
+    config.fuzzCount = 1;
+    config.nSides = {4};
+    config.samplerSizes = {2};
+    config.activationBudget = 24000;
+    config.threads = 2;
+    config.geometry.banks = 16;
+
+    const auto linear_cells = runSweep(config);
+
+    config.mapping = "bank-xor";
+    const auto aware_cells = runSweep(config);
+
+    // Inverting the mapping exactly neutralizes it: same flips, same
+    // refresh work, cell for cell (labels carry the mapping suffix).
+    ASSERT_EQ(linear_cells.size(), aware_cells.size());
+    for (std::size_t i = 0; i < linear_cells.size(); ++i) {
+        EXPECT_EQ(aware_cells[i].pattern,
+                  linear_cells[i].pattern + "@bank-xor");
+        EXPECT_EQ(aware_cells[i].mechanism, linear_cells[i].mechanism);
+        EXPECT_EQ(aware_cells[i].flips, linear_cells[i].flips);
+        EXPECT_EQ(aware_cells[i].activations,
+                  linear_cells[i].activations);
+        EXPECT_EQ(aware_cells[i].mitigationRefreshes,
+                  linear_cells[i].mitigationRefreshes);
+    }
+}
+
+TEST(Remap, SweepWithNaiveAttackerDiffersMeasurably)
+{
+    SweepConfig config;
+    config.hcFirst = 2000.0;
+    config.fuzzCount = 1;
+    config.nSides = {4};
+    config.samplerSizes = {2};
+    config.activationBudget = 24000;
+    config.threads = 2;
+    config.geometry.banks = 16;
+
+    const auto linear_cells = runSweep(config);
+
+    config.mapping = "bank-xor";
+    config.attackerMapping = "linear";
+    const auto naive_cells = runSweep(config);
+
+    ASSERT_EQ(linear_cells.size(), naive_cells.size());
+    EXPECT_NE(renderSweepCells(linear_cells),
+              renderSweepCells(naive_cells));
+
+    // The unprotected chip flips under a correctly-landed attack; the
+    // naive attacker cannot even reach the victim's bank.
+    std::int64_t linear_none = 0;
+    std::int64_t naive_none = 0;
+    for (std::size_t i = 0; i < linear_cells.size(); ++i) {
+        if (linear_cells[i].mechanism == "None") {
+            linear_none += linear_cells[i].flips;
+            naive_none += naive_cells[i].flips;
+        }
+    }
+    EXPECT_GT(linear_none, 0);
+    EXPECT_LT(naive_none, linear_none);
+}
+
+TEST(Remap, MultiRankSweepDiffersFromSingleRank)
+{
+    SweepConfig config;
+    config.hcFirst = 2000.0;
+    config.fuzzCount = 0;
+    config.nSides = {4};
+    config.samplerSizes = {2};
+    config.activationBudget = 24000;
+    config.threads = 2;
+    config.geometry.banks = 16;
+    config.mapping = "bank-xor";
+    config.attackerMapping = "linear";
+    const auto single = runSweep(config);
+
+    config.mapping = "rank-xor";
+    config.mappingRanks = 2;
+    const auto multi = runSweep(config);
+
+    ASSERT_EQ(single.size(), multi.size());
+    EXPECT_NE(renderSweepCells(single), renderSweepCells(multi));
+}
+
+TEST(TraceAdapter, InvertsXorMappingToLandAggressorsInOneBank)
+{
+    // The cycle-accurate path's core attack property: whatever the
+    // controller's address functions, the adapter's emitted physical
+    // addresses decode back into the pattern's single target bank.
+    const dram::Organization org = mappedOrg(2);
+    sim::AddressMapper mapper(
+        org, dram::AddressFunctions::preset("rank-xor", org));
+
+    PatternBuilder builder(testConfig(), 19);
+    const AccessPattern p = builder.nSided(6, 500, 8);
+    TraceAdapter adapter(p, mapper);
+
+    const std::vector<int> schedule = p.schedule();
+    for (int i = 0; i < 512; ++i) {
+        const cpu::TraceEntry entry = adapter.next();
+        const dram::Address addr = mapper.decode(entry.addr);
+        EXPECT_EQ(org.flatBank(addr), 6);
+        EXPECT_EQ(addr.row,
+                  schedule[static_cast<std::size_t>(i) %
+                           schedule.size()]);
     }
 }
 

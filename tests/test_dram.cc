@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "dram/address_functions.hh"
 #include "dram/device.hh"
 #include "dram/organization.hh"
 #include "dram/timing.hh"
@@ -249,6 +252,167 @@ TEST_F(DeviceTest, StatsCount)
     EXPECT_EQ(dev_.stats().acts, 1);
     EXPECT_EQ(dev_.stats().reads, 1);
     EXPECT_EQ(dev_.stats().pres, 1);
+}
+
+TEST(Organization, BankAddressInvertsFlatBank)
+{
+    Organization org = table6Organization();
+    org.ranks = 2;
+    for (int flat = 0; flat < org.totalBanks(); ++flat) {
+        const Address addr = org.bankAddress(flat);
+        EXPECT_TRUE(org.contains(addr));
+        EXPECT_EQ(org.flatBank(addr), flat);
+    }
+    EXPECT_EQ(org.bankAddress(org.totalBanks() - 1).rank, 1);
+}
+
+TEST(AddressFunctions, PresetsValidForTable6)
+{
+    Organization org = table6Organization();
+    EXPECT_TRUE(AddressFunctions::preset("linear", org).valid(org));
+    EXPECT_TRUE(AddressFunctions::preset("bank-xor", org).valid(org));
+    org.ranks = 2;
+    EXPECT_TRUE(AddressFunctions::preset("rank-xor", org).valid(org));
+}
+
+TEST(AddressFunctions, UnknownPresetRejected)
+{
+    EXPECT_THROW(
+        AddressFunctions::preset("zen4", table6Organization()),
+        FatalError);
+}
+
+TEST(AddressFunctions, RankXorNeedsMultiRank)
+{
+    EXPECT_THROW(
+        AddressFunctions::preset("rank-xor", table6Organization()),
+        FatalError);
+}
+
+TEST(AddressFunctions, NonPow2GeometryRejected)
+{
+    Organization org = table6Organization();
+    org.rows = 10000;
+    EXPECT_THROW(AddressFunctions::preset("bank-xor", org), FatalError);
+    AddressFunctions linear = AddressFunctions::linear();
+    EXPECT_TRUE(linear.valid(org)); // Linear works for any radix.
+}
+
+TEST(AddressFunctions, BankXorFoldsRowBitsIntoBankSelects)
+{
+    const Organization org = table6Organization();
+    const AddressFunctions fns =
+        AddressFunctions::preset("bank-xor", org);
+    const AddressBitLayout layout = AddressBitLayout::of(org);
+    for (std::size_t i = 0; i < fns.bankGroupMasks.size(); ++i) {
+        EXPECT_EQ(__builtin_popcountll(fns.bankGroupMasks[i]), 2);
+        EXPECT_TRUE(fns.bankGroupMasks[i] &
+                    (std::uint64_t{1}
+                     << (layout.bankGroupBase() + static_cast<int>(i))));
+        EXPECT_TRUE(fns.bankGroupMasks[i] >>
+                    layout.rowBase()); // The folded row bit.
+    }
+    // Column and row functions stay identity: the mapping permutes
+    // banks only.
+    for (std::size_t i = 0; i < fns.rowMasks.size(); ++i)
+        EXPECT_EQ(__builtin_popcountll(fns.rowMasks[i]), 1);
+}
+
+TEST(AddressFunctions, ParseRoundTrip)
+{
+    const Organization org = table6Organization();
+    const AddressFunctions built =
+        AddressFunctions::preset("bank-xor", org);
+
+    std::ostringstream text;
+    text << "# bank-xor serialized\n";
+    auto dump = [&](const char *level,
+                    const std::vector<std::uint64_t> &masks) {
+        for (std::uint64_t mask : masks)
+            text << level << " 0x" << std::hex << mask << std::dec
+                 << "\n";
+    };
+    dump("column", built.columnMasks);
+    dump("bankgroup", built.bankGroupMasks);
+    dump("bank", built.bankMasks);
+    dump("rank", built.rankMasks);
+    dump("row", built.rowMasks);
+
+    std::istringstream in(text.str());
+    const AddressFunctions parsed =
+        AddressFunctions::parse(in, org, "round-trip");
+    EXPECT_EQ(parsed.columnMasks, built.columnMasks);
+    EXPECT_EQ(parsed.bankGroupMasks, built.bankGroupMasks);
+    EXPECT_EQ(parsed.bankMasks, built.bankMasks);
+    EXPECT_EQ(parsed.rankMasks, built.rankMasks);
+    EXPECT_EQ(parsed.rowMasks, built.rowMasks);
+}
+
+TEST(AddressFunctions, ParseRejectsGarbage)
+{
+    const Organization org = table6Organization();
+    {
+        std::istringstream in("bank nonsense");
+        EXPECT_THROW(AddressFunctions::parse(in, org), FatalError);
+    }
+    {
+        std::istringstream in("chipselect 0x40");
+        EXPECT_THROW(AddressFunctions::parse(in, org), FatalError);
+    }
+    {
+        std::istringstream in("bank 0x100 extra");
+        EXPECT_THROW(AddressFunctions::parse(in, org), FatalError);
+    }
+    {
+        // Well-formed lines but wrong mask counts for the geometry.
+        std::istringstream in("bank 0x100\nbank 0x200");
+        EXPECT_THROW(AddressFunctions::parse(in, org), FatalError);
+    }
+}
+
+TEST(AddressFunctions, SingularSpecRejected)
+{
+    const Organization org = table6Organization();
+    AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+    // Two output bits computing the same parity: not invertible.
+    fns.bankMasks[1] = fns.bankMasks[0];
+    std::string why;
+    EXPECT_FALSE(fns.valid(org, &why));
+    EXPECT_NE(why.find("singular"), std::string::npos);
+}
+
+TEST(AddressFunctions, OffsetBitsOffLimits)
+{
+    const Organization org = table6Organization();
+    AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+    fns.bankMasks[0] |= 0x1; // Byte-offset bit.
+    EXPECT_FALSE(fns.valid(org));
+}
+
+TEST(DeviceMultiRank, RefConstrainsOnlyItsRank)
+{
+    Organization org = tinyOrganization();
+    org.ranks = 2;
+    Device dev(org, ddr4_2400());
+    const TimingSpec &t = dev.timing();
+
+    Address rank0{};
+    dev.issue(Command::REF, rank0, 0);
+    Address rank1_act{.rank = 1, .bankGroup = 0, .bank = 0, .row = 3,
+                      .column = 0};
+    // Rank 1 is free during rank 0's tRFC; rank 0 is not.
+    EXPECT_EQ(dev.earliest(Command::ACT, rank1_act, 0), 0);
+    Address rank0_act = rank1_act;
+    rank0_act.rank = 0;
+    EXPECT_EQ(dev.earliest(Command::ACT, rank0_act, 0), t.tRFC);
+
+    // A REF to rank 1 is legal even while rank 1 has... no open banks;
+    // opening one blocks it.
+    Address rank1_ref{};
+    rank1_ref.rank = 1;
+    EXPECT_TRUE(dev.canIssue(Command::REF, rank1_ref, 1));
+    dev.issue(Command::ACT, rank1_act, 1);
+    EXPECT_FALSE(dev.canIssue(Command::REF, rank1_ref, 2));
 }
 
 TEST(DeviceDdr3, NoBankGroupDistinction)

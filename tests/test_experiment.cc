@@ -12,6 +12,7 @@
 
 #include "attack/sweep.hh"
 #include "core/experiment.hh"
+#include "dram/address_functions.hh"
 #include "util/logging.hh"
 
 namespace
@@ -124,6 +125,106 @@ TEST(AttackSweep, ThreadCountInvariant)
         if (cell.mechanism == "Ideal")
             EXPECT_EQ(cell.flips, 0) << cell.pattern;
     }
+}
+
+TEST(Fig10Mapping, DefaultPresetStatsMatchPrePr)
+{
+    // Hard-coded outcomes captured from the pre-AddressFunctions build
+    // on this exact configuration: the default mapping's fig10 numbers
+    // must not move. (NEAR, not EQ: CI builds without -march=native
+    // may contract floating-point differently.)
+    ExperimentConfig config;
+    config.system.cores = 2;
+    config.instructionsPerCore = 4000;
+    config.warmupInstructions = 500;
+    config.mixCount = 1;
+    config.mixIndices = {24};
+    config.threads = 1;
+    config.system.organization.rows = 128;
+    config.system.llcBytes = 256 * 1024;
+    config.coldBytesPerApp = 1024 * 1024;
+    ExperimentRunner runner(config);
+
+    const auto para = runner.runMix(24, mitigation::Kind::PARA, 2000.0);
+    ASSERT_TRUE(para.has_value());
+    EXPECT_NEAR(para->weightedSpeedup, 1.0168442019022976, 1e-9);
+    EXPECT_NEAR(para->normalizedPerformance, 0.82866499239404701, 1e-9);
+    EXPECT_NEAR(para->bandwidthOverheadPercent, 14.275601698914583,
+                1e-6);
+    EXPECT_NEAR(para->mpki, 83.505782105903833, 1e-6);
+
+    const auto ideal =
+        runner.runMix(24, mitigation::Kind::Ideal, 2000.0);
+    ASSERT_TRUE(ideal.has_value());
+    EXPECT_NEAR(ideal->weightedSpeedup, 1.2270871959542942, 1e-9);
+    EXPECT_NEAR(ideal->mpki, 82.364459674458445, 1e-6);
+}
+
+TEST(Fig10Mapping, BankXorChangesTheOverheadTable)
+{
+    ExperimentConfig config = smallConfig(2);
+    config.mixCount = 1;
+    config.mixIndices = {24};
+    ExperimentRunner linear(config);
+
+    config.system.addressFunctions = dram::AddressFunctions::preset(
+        "bank-xor", config.system.organization);
+    ExperimentRunner xorred(config);
+
+    const std::vector<double> hc_firsts{2000};
+    const std::string a = renderSweep(linear.sweep(hc_firsts));
+    const std::string b = renderSweep(xorred.sweep(hc_firsts));
+    EXPECT_NE(a, b);
+}
+
+TEST(Fig10Mapping, MultiRankRankXorRunsAndDiffers)
+{
+    ExperimentConfig config = smallConfig(2);
+    config.mixCount = 1;
+    config.mixIndices = {24};
+    ExperimentRunner single(config);
+
+    config.system.organization.ranks = 2;
+    config.system.addressFunctions = dram::AddressFunctions::preset(
+        "rank-xor", config.system.organization);
+    config.appRegionStride =
+        config.system.organization.totalBytes() / config.system.cores;
+    ExperimentRunner multi(config);
+
+    const std::vector<double> hc_firsts{2000};
+    const auto a = single.sweep(hc_firsts);
+    const auto b = multi.sweep(hc_firsts);
+    EXPECT_NE(renderSweep(a), renderSweep(b));
+
+    // The multi-rank run must be a real measurement.
+    std::size_t measured = 0;
+    for (const auto &p : b)
+        measured += p.normalizedPerformance.count();
+    EXPECT_GT(measured, 0u);
+}
+
+TEST(AttackSweep, MappedGridThreadCountInvariant)
+{
+    // The RH_THREADS contract extends to the mapping axis: believed-
+    // space construction and remapping happen once, outside the pool.
+    attack::SweepConfig config;
+    config.hcFirst = 500;
+    config.geometry.banks = 16;
+    config.geometry.rows = 1024;
+    config.geometry.rowDataBits = 4096;
+    config.nSides = {4};
+    config.fuzzCount = 1;
+    config.samplerSizes = {2};
+    config.mapping = "rank-xor";
+    config.attackerMapping = "linear";
+    config.mappingRanks = 2;
+
+    config.threads = 1;
+    const auto serial = attack::runSweep(config);
+    config.threads = 4;
+    const auto parallel = attack::runSweep(config);
+    EXPECT_EQ(attack::renderSweepCells(serial),
+              attack::renderSweepCells(parallel));
 }
 
 TEST(ExperimentSweep, ConcurrentRunMixMatchesSerial)

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "dram/address_functions.hh"
 #include "mitigation/factory.hh"
 #include "sim/controller.hh"
 #include "sim/request.hh"
@@ -29,17 +32,26 @@ using sim::Request;
 struct Harness
 {
     Harness(bool event_driven, mitigation::Kind kind, double hc_first)
+        : Harness(event_driven, kind, hc_first,
+                  dram::table6Organization(),
+                  dram::AddressFunctions::linear())
+    {
+    }
+
+    Harness(bool event_driven, mitigation::Kind kind, double hc_first,
+            const dram::Organization &org,
+            dram::AddressFunctions functions)
     {
         Controller::Config config;
         config.eventDriven = event_driven;
-        ctrl = std::make_unique<Controller>(dram::table6Organization(),
-                                            dram::ddr4_2400(), config);
+        ctrl = std::make_unique<Controller>(org, dram::ddr4_2400(),
+                                            config,
+                                            std::move(functions));
         if (kind != mitigation::Kind::None) {
             // Fixed seed: both engines must see identical mechanism
             // decisions given identical ACT streams.
             mechanism = mitigation::makeMitigation(
-                kind, hc_first, dram::ddr4_2400(),
-                dram::table6Organization().rows, 99);
+                kind, hc_first, dram::ddr4_2400(), org.rows, 99);
             ctrl->setMitigation(mechanism.get());
         }
         ctrl->device().setObserver(
@@ -165,6 +177,120 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair(mitigation::Kind::TWiCe, std::uint64_t{14}),
         std::make_pair(mitigation::Kind::TWiCe, std::uint64_t{15}),
         std::make_pair(mitigation::Kind::Ideal, std::uint64_t{16})));
+
+std::uint64_t
+streamHash(const std::vector<std::string> &commands)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::string &line : commands) {
+        for (unsigned char c : line) {
+            h ^= c;
+            h *= 1099511628211ULL;
+        }
+        h ^= '\n';
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+TEST(GoldenMapping, DefaultPresetCommandStreamMatchesPrePr)
+{
+    // Hard-coded hashes captured from the pre-AddressFunctions build
+    // (the fixed linear AddressMapper): the default mapping must stay
+    // byte-for-byte what it was before the subsystem existed.
+    Harness none(true, mitigation::Kind::None, 0.0);
+    driveTrace(none, 11, 400, 64);
+    EXPECT_EQ(none.commands.size(), 875u);
+    EXPECT_EQ(none.ctrl->stats().cycles, 53422);
+    EXPECT_EQ(none.ctrl->stats().readsServed, 109);
+    EXPECT_EQ(none.completed, 109);
+    EXPECT_EQ(streamHash(none.commands), 0x68cf1fb188412eeaULL);
+
+    Harness para(true, mitigation::Kind::PARA, 2000.0);
+    driveTrace(para, 12, 400, 64);
+    EXPECT_EQ(para.commands.size(), 881u);
+    EXPECT_EQ(para.ctrl->stats().mitigationRefreshes, 10);
+    EXPECT_EQ(streamHash(para.commands), 0xd2fe96643f9a9d4fULL);
+}
+
+TEST(GoldenMapping, ExplicitLinearPresetMatchesDefault)
+{
+    const dram::Organization org = dram::table6Organization();
+    Harness implicit(true, mitigation::Kind::PARA, 2000.0);
+    Harness explicit_linear(
+        true, mitigation::Kind::PARA, 2000.0, org,
+        dram::AddressFunctions::preset("linear", org));
+    driveTrace(implicit, 12, 400, 64);
+    driveTrace(explicit_linear, 12, 400, 64);
+    EXPECT_EQ(implicit.commands, explicit_linear.commands);
+}
+
+TEST(GoldenMapping, BankXorPresetChangesTheCommandStream)
+{
+    // Same physical request trace, different address functions: the
+    // mapping axis must actually move traffic (different bank spread,
+    // hence a different command stream), not just relabel it.
+    const dram::Organization org = dram::table6Organization();
+    Harness linear(true, mitigation::Kind::None, 0.0);
+    Harness xorred(true, mitigation::Kind::None, 0.0, org,
+                   dram::AddressFunctions::preset("bank-xor", org));
+    driveTrace(linear, 11, 400, 64);
+    driveTrace(xorred, 11, 400, 64);
+    EXPECT_NE(linear.commands, xorred.commands);
+    // Not a relabeling: the bank spread changes how many activations
+    // the same trace costs (row hits and idle-row closes both move).
+    EXPECT_NE(xorred.ctrl->stats().demandActs,
+              linear.ctrl->stats().demandActs);
+}
+
+TEST(GoldenMultiRank, EventEngineMatchesPerTickWithRankXor)
+{
+    // The event engine's wake computation must stay exact when REF
+    // fans out per rank and the mapping spreads rows across ranks.
+    dram::Organization org = dram::table6Organization();
+    org.ranks = 2;
+    for (auto kind : {mitigation::Kind::None, mitigation::Kind::PARA,
+                      mitigation::Kind::TWiCe}) {
+        const bool counter_based = kind == mitigation::Kind::TWiCe;
+        const double hc_first = counter_based ? 40.0 : 2000.0;
+        Harness event(true, kind, hc_first, org,
+                      dram::AddressFunctions::preset("rank-xor", org));
+        Harness reference(false, kind, hc_first, org,
+                          dram::AddressFunctions::preset("rank-xor",
+                                                         org));
+        driveTrace(event, 21, counter_based ? 800 : 400,
+                   counter_based ? 0 : 64);
+        driveTrace(reference, 21, counter_based ? 800 : 400,
+                   counter_based ? 0 : 64);
+        EXPECT_EQ(event.ctrl->now(), reference.ctrl->now());
+        EXPECT_EQ(event.ctrl->stats().cycles,
+                  reference.ctrl->stats().cycles);
+        ASSERT_EQ(event.commands, reference.commands)
+            << "divergence under " << toString(kind);
+        EXPECT_GT(event.ctrl->stats().readsServed, 0);
+    }
+}
+
+TEST(GoldenMultiRank, RefreshReachesEveryRank)
+{
+    dram::Organization org = dram::table6Organization();
+    org.ranks = 2;
+    Harness h(true, mitigation::Kind::None, 0.0, org,
+              dram::AddressFunctions::linear());
+    const auto trefi = h.ctrl->device().timing().tREFI;
+    h.ctrl->advanceTo(4 * trefi);
+
+    int ref_per_rank[2] = {0, 0};
+    for (const std::string &line : h.commands) {
+        if (line.rfind("REF", 0) == 0)
+            ++ref_per_rank[line.find(" r1 ") != std::string::npos];
+    }
+    // One REF per rank per boundary, counted in autoRefreshes.
+    EXPECT_GE(ref_per_rank[0], 3);
+    EXPECT_EQ(ref_per_rank[0], ref_per_rank[1]);
+    EXPECT_EQ(h.ctrl->stats().autoRefreshes,
+              ref_per_rank[0] + ref_per_rank[1]);
+}
 
 TEST(GoldenEngineAdvance, AdvanceToMatchesTickLoop)
 {

@@ -112,6 +112,24 @@ TEST(System, MpkiTracksProfiles)
     EXPECT_LT(result.mpki(), 70.0);
 }
 
+TEST(System, MultiRankXorMappingServesTraffic)
+{
+    // End-to-end: cores -> LLC -> controller with a 2-rank rank-xor
+    // mapping. Traffic must reach both ranks and complete.
+    core::SystemConfig config = tinyConfig(2);
+    config.organization.ranks = 2;
+    config.organization.rows = 1024;
+    config.addressFunctions = rowhammer::dram::AddressFunctions::preset(
+        "rank-xor", config.organization);
+    core::System system(config, {tinyApp(0), tinyApp(1)}, 5);
+    const core::SystemResult result = system.run(60000);
+    EXPECT_GT(result.memStats.readsServed, 0);
+    EXPECT_GT(result.memStats.autoRefreshes, 0);
+    // Every refresh boundary issues one REF per rank.
+    EXPECT_EQ(result.memStats.autoRefreshes % 2, 0);
+    EXPECT_EQ(result.memStats.ranks, 2);
+}
+
 TEST(System, AppCountMustMatchCores)
 {
     EXPECT_THROW(System(tinyConfig(2), {tinyApp(0)}, 1),

@@ -150,6 +150,32 @@ TEST(MixCatalogue, CoreRegionsDisjoint)
     }
 }
 
+TEST(MixCatalogue, StrideSpreadsRegionsWithoutChangingBehaviour)
+{
+    // base_stride repositions regions (multi-rank channels) but must
+    // leave every behavioural parameter untouched.
+    const std::int64_t cold = 512 * 1024;
+    const std::int64_t stride = 4 * cold;
+    const auto packed = mixCatalogue(4, cold);
+    const auto spread = mixCatalogue(4, cold, stride);
+    for (std::size_t m = 0; m < packed.size(); ++m) {
+        for (std::size_t c = 0; c < packed[m].apps.size(); ++c) {
+            const auto &a = packed[m].apps[c];
+            const auto &b = spread[m].apps[c];
+            EXPECT_EQ(b.baseAddr,
+                      static_cast<std::uint64_t>(c) *
+                          static_cast<std::uint64_t>(stride));
+            EXPECT_DOUBLE_EQ(a.accessesPerKiloInst,
+                             b.accessesPerKiloInst);
+            EXPECT_DOUBLE_EQ(a.coldFraction, b.coldFraction);
+            EXPECT_EQ(a.coldBytes, b.coldBytes);
+            EXPECT_EQ(a.hotBytes, b.hotBytes);
+        }
+    }
+    EXPECT_THROW(mixCatalogue(4, cold, cold / 2),
+                 rowhammer::util::FatalError);
+}
+
 TEST(MixCatalogue, DeterministicAcrossCalls)
 {
     const auto a = mixCatalogue(8);
