@@ -22,6 +22,8 @@
  *                  i.e. a zenhammer-style attacker; set to linear with
  *                  a non-linear RH_AS_MAPPING for a naive attacker)
  *   RH_AS_RANKS    ranks the mapping splits the banks across (default 1)
+ *   RH_AS_CHANNELS channels the mapping splits the banks across
+ *                  (default 1; pair with RH_AS_MAPPING=channel-xor)
  *   RH_THREADS     worker threads (results identical for any value)
  */
 
@@ -57,6 +59,8 @@ main()
     config.attackerMapping = bench::envString("RH_AS_ATTACKER", "");
     config.mappingRanks =
         static_cast<int>(bench::envLong("RH_AS_RANKS", 1));
+    config.mappingChannels =
+        static_cast<int>(bench::envLong("RH_AS_CHANNELS", 1));
 
     const std::int64_t budget = config.activationBudget > 0
         ? config.activationBudget

@@ -10,10 +10,14 @@
  *   RH_F10_INSTR    instructions per core per run (default 100000)
  *   RH_F10_CORES    cores (default 8 per Table 6)
  *   RH_F10_RANKS    DRAM ranks (default 1 per Table 6)
+ *   RH_F10_CHANNELS memory channels / controllers (default 1 per
+ *                   Table 6)
  *   RH_F10_MAPPING  address functions: a preset name (linear, bank-xor,
- *                   rank-xor) or a mask-file path (default linear)
- *   RH_F10_SPREAD   1 = stride app regions over the whole channel
- *                   (multi-rank runs; default 0 = legacy packing)
+ *                   rank-xor, channel-xor) or a mask-file path
+ *                   (default linear)
+ *   RH_F10_SPREAD   1 = stride app regions over the whole memory
+ *                   system (multi-rank/channel runs; default 0 =
+ *                   legacy packing)
  *   RH_THREADS      sweep worker threads (default: one per hardware
  *                   thread; results are identical for any value)
  */
@@ -58,17 +62,20 @@ main()
     config.coldBytesPerApp =
         bench::envLong("RH_F10_COLD_MB", 2) * 1024 * 1024;
 
-    // Address-translation axis: rank count, mapping preset/mask file,
-    // and optional app-region spreading across the full channel.
+    // Address-translation axis: rank/channel counts, mapping
+    // preset/mask file, and optional app-region spreading across the
+    // full memory system.
     config.system.organization.ranks =
         static_cast<int>(bench::envLong("RH_F10_RANKS", 1));
+    config.system.organization.channels =
+        static_cast<int>(bench::envLong("RH_F10_CHANNELS", 1));
     const std::string mapping =
         bench::envString("RH_F10_MAPPING", "linear");
     config.system.addressFunctions = dram::AddressFunctions::resolve(
         mapping, config.system.organization);
     if (bench::envLong("RH_F10_SPREAD", 0) != 0) {
         config.appRegionStride =
-            config.system.organization.totalBytes() /
+            config.system.organization.systemBytes() /
             config.system.cores;
     }
 
@@ -90,6 +97,7 @@ main()
               << " instructions/core=" << config.instructionsPerCore
               << " cores=" << config.system.cores
               << " ranks=" << config.system.organization.ranks
+              << " channels=" << config.system.organization.channels
               << " mapping=" << config.system.addressFunctions.name
               << "\n\n";
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Markdown hygiene check, run locally or by the CI repo-hygiene job:
+#
+#   1. Every relative markdown link [text](path) in the checked docs
+#      must resolve to a file or directory in the repository.
+#   2. Every backtick-quoted repo path (`src/...`, `tests/...`, ... with
+#      a known source/doc extension) must exist — stale file references
+#      are how docs rot when code moves.
+#
+# Exits non-zero listing every violation. Checked docs: README.md,
+# EXPERIMENTS.md, PAPERS.md, and everything under docs/.
+set -u
+cd "$(dirname "$0")/.."
+
+docs=(README.md EXPERIMENTS.md PAPERS.md)
+while IFS= read -r f; do
+    docs+=("$f")
+done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+failures=0
+
+fail() {
+    echo "::error::$1"
+    failures=$((failures + 1))
+}
+
+for doc in "${docs[@]}"; do
+    [ -f "$doc" ] || { fail "$doc: checked doc missing"; continue; }
+    dir=$(dirname "$doc")
+
+    # --- 1. relative markdown links -------------------------------
+    # Matches [text](target); skips absolute URLs, mail, and pure
+    # in-page anchors; strips #fragments before testing existence.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            fail "$doc: broken link ($target)"
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" |
+        sed 's/^\[[^]]*\](//; s/)$//')
+
+    # --- 2. stale backtick file references ------------------------
+    # Only unambiguous repo paths are checked: a known top-level code
+    # directory plus a known extension. Binary invocations like
+    # `bench/attack_sweep` (no extension) and external paths are
+    # deliberately out of scope.
+    while IFS= read -r ref; do
+        if [ ! -e "$ref" ]; then
+            fail "$doc: stale file reference ($ref)"
+        fi
+    done < <(grep -o '`[^`]*`' "$doc" | tr -d '`' | grep -E \
+        '^(src|tests|bench|examples|docs|scripts|\.github)/[A-Za-z0-9_./-]+\.(cc|hh|cpp|h|md|env|yml|sh|txt|json)$' |
+        sort -u)
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "check_docs: $failures problem(s) found"
+    exit 1
+fi
+echo "check_docs: OK (${#docs[@]} files)"

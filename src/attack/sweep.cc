@@ -124,14 +124,18 @@ runSweep(const SweepConfig &config)
     int believed_bank = bank;
     int believed_victim = victim;
     if (mapped) {
-        if (config.mappingRanks < 1 ||
-            config.geometry.banks % config.mappingRanks != 0) {
-            util::fatal("attack sweep: mappingRanks must divide the "
-                        "geometry's bank count");
+        if (config.mappingRanks < 1 || config.mappingChannels < 1 ||
+            config.geometry.banks %
+                    (config.mappingRanks * config.mappingChannels) !=
+                0) {
+            util::fatal("attack sweep: mappingChannels * mappingRanks "
+                        "must divide the geometry's bank count");
         }
         dram::Organization org;
+        org.channels = config.mappingChannels;
         org.ranks = config.mappingRanks;
-        const int per_rank = config.geometry.banks / config.mappingRanks;
+        const int per_rank = config.geometry.banks /
+            (config.mappingChannels * config.mappingRanks);
         org.bankGroups = per_rank % 4 == 0 ? 4 : 1;
         org.banksPerGroup = per_rank / org.bankGroups;
         org.rows = config.geometry.rows;
@@ -141,12 +145,13 @@ runSweep(const SweepConfig &config)
         assumed.emplace(org, dram::AddressFunctions::resolve(
                                  attacker_mapping, org));
         // The attacker knows the victim's physical address (it saw a
-        // flip there) and locates it in its believed DRAM space.
-        dram::Address victim_addr = org.bankAddress(bank);
+        // flip there) and locates it in its believed DRAM space. The
+        // chip's flat banks map channel-major onto the organization.
+        dram::Address victim_addr = org.globalBankAddress(bank);
         victim_addr.row = victim;
         const dram::Address believed =
             assumed->decode(actual->encode(victim_addr));
-        believed_bank = org.flatBank(believed);
+        believed_bank = org.globalFlatBank(believed);
         believed_victim = believed.row;
     }
 

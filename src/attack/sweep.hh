@@ -65,6 +65,12 @@ struct SweepConfig
     std::string attackerMapping;
     /** Ranks the mapping splits geometry.banks across (>= 1). */
     int mappingRanks = 1;
+    /** Channels the mapping splits geometry.banks across (>= 1). The
+     *  chip's flat banks are treated channel-major (see
+     *  dram::Organization::globalFlatBank); a channel-naive attacker's
+     *  aggressors scatter across controllers exactly as a bank-naive
+     *  one's scatter across banks. */
+    int mappingChannels = 1;
     /** Worker threads (0 = one per hardware thread); results do not
      *  depend on this. */
     int threads = 0;

@@ -15,15 +15,18 @@ remapPattern(const AccessPattern &believed,
 {
     const dram::Organization &org = actual.organization();
 
+    // Pattern bank indices are global (channel-major): a believed
+    // aggressor that lands on another channel's controller scatters
+    // exactly like one landing in another bank.
     auto translate = [&](int row) {
         dram::Address addr =
-            assumed.organization().bankAddress(believed.bank);
+            assumed.organization().globalBankAddress(believed.bank);
         addr.row = row;
         return actual.decode(assumed.encode(addr));
     };
 
     const dram::Address victim = translate(believed.victimRow);
-    const int victim_bank = org.flatBank(victim);
+    const int victim_bank = org.globalFlatBank(victim);
 
     RemappedPattern out;
     out.pattern = believed;
@@ -41,7 +44,7 @@ remapPattern(const AccessPattern &believed,
             [&](const AggressorSlot &kept) {
                 return kept.row == landed.row;
             });
-        if (org.flatBank(landed) != victim_bank ||
+        if (org.globalFlatBank(landed) != victim_bank ||
             landed.row == victim.row || duplicate) {
             ++out.droppedSlots;
             continue;
@@ -64,8 +67,7 @@ TraceAdapter::TraceAdapter(AccessPattern pattern,
     if (!pattern_.wellFormed(&why))
         util::fatal("TraceAdapter: malformed pattern: " + why);
     const dram::Organization &org = mapper_.organization();
-    const int flat_banks = org.ranks * org.bankGroups * org.banksPerGroup;
-    if (pattern_.bank < 0 || pattern_.bank >= flat_banks)
+    if (pattern_.bank < 0 || pattern_.bank >= org.systemBanks())
         util::fatal("TraceAdapter: pattern bank outside the organization");
     for (const AggressorSlot &slot : pattern_.slots) {
         if (slot.row >= org.rows)
@@ -81,7 +83,7 @@ dram::Address
 TraceAdapter::address(int row, std::int64_t visit) const
 {
     const dram::Organization &org = mapper_.organization();
-    dram::Address addr = org.bankAddress(pattern_.bank);
+    dram::Address addr = org.globalBankAddress(pattern_.bank);
     addr.row = row;
     // Rotate the column per visit: consecutive reads of a row touch
     // distinct cache lines, so a cache between the core and the

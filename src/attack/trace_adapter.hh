@@ -29,9 +29,11 @@ namespace rowhammer::attack
 /**
  * A pattern re-expressed in the controller's true DRAM space (see
  * remapPattern). droppedSlots counts believed aggressors that do not
- * hammer the victim: landed in another bank, collapsed onto the
- * victim row itself (merely refreshing it), or collided with an
- * already-kept row. Their activations are removed from the schedule.
+ * hammer the victim: landed in another bank (or on another channel's
+ * controller entirely), collapsed onto the victim row itself (merely
+ * refreshing it), or collided with an already-kept row. Their
+ * activations are removed from the schedule. Bank indices are global,
+ * channel-major (dram::Organization::globalFlatBank).
  */
 struct RemappedPattern
 {

@@ -1,9 +1,34 @@
 #include "experiment.hh"
 
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace rowhammer::core
 {
+
+namespace
+{
+
+/**
+ * The one weighted-speedup definition: sum of per-core shared/alone
+ * IPC ratios, skipping cores whose standalone IPC is zero. Both the
+ * baseline WS and runMix's outcome WS (whose ratio is the normalized
+ * performance) go through here.
+ */
+double
+weightedSpeedupFromIpcs(const std::vector<double> &shared,
+                        const std::vector<double> &alone)
+{
+    double ws = 0.0;
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        if (alone[i] > 0.0)
+            ws += shared[i] / alone[i];
+    }
+    return ws;
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config),
@@ -29,44 +54,70 @@ double
 ExperimentRunner::weightedSpeedup(
     const SystemResult &shared, const std::vector<double> &alone_ipc) const
 {
-    double ws = 0.0;
-    for (std::size_t i = 0; i < shared.coreStats.size(); ++i) {
-        const double alone = alone_ipc[i];
-        if (alone > 0.0)
-            ws += shared.coreStats[i].ipc() / alone;
-    }
-    return ws;
+    std::vector<double> shared_ipc;
+    for (const auto &core : shared.coreStats)
+        shared_ipc.push_back(core.ipc());
+    return weightedSpeedupFromIpcs(shared_ipc, alone_ipc);
+}
+
+double
+ExperimentRunner::soloIpc(int mix_index, int core) const
+{
+    const workload::Mix &mix =
+        mixes_[static_cast<std::size_t>(mix_index)];
+    SystemConfig solo = config_.system;
+    solo.cores = 1;
+    System system(solo, {mix.apps[static_cast<std::size_t>(core)]},
+                  config_.seed ^
+                      (static_cast<std::uint64_t>(mix_index) << 16) ^
+                      static_cast<std::uint64_t>(core));
+    const SystemResult result = system.run(
+        config_.instructionsPerCore, config_.warmupInstructions);
+    return result.coreStats[0].ipc();
+}
+
+std::vector<double>
+ExperimentRunner::sharedBaselineIpcs(int mix_index) const
+{
+    const workload::Mix &mix =
+        mixes_[static_cast<std::size_t>(mix_index)];
+    System system(config_.system, mix.apps,
+                  config_.seed ^
+                      (static_cast<std::uint64_t>(mix_index) << 16));
+    // NoMitigation is stateless, so one instance per channel costs
+    // nothing and keeps the per-channel attachment contract uniform.
+    std::vector<mitigation::NoMitigation> none(
+        static_cast<std::size_t>(config_.system.organization.channels));
+    std::vector<mitigation::Mitigation *> attached;
+    for (auto &mech : none)
+        attached.push_back(&mech);
+    system.setMitigations(attached);
+    const SystemResult result = system.run(config_.instructionsPerCore,
+                                           config_.warmupInstructions);
+    std::vector<double> ipcs;
+    for (const auto &core : result.coreStats)
+        ipcs.push_back(core.ipc());
+    return ipcs;
+}
+
+ExperimentRunner::MixBaseline
+ExperimentRunner::MixBaseline::combine(std::vector<double> alone_ipc,
+                                       const std::vector<double> &shared)
+{
+    MixBaseline out;
+    out.aloneIpc = std::move(alone_ipc);
+    out.baselineWs = weightedSpeedupFromIpcs(shared, out.aloneIpc);
+    return out;
 }
 
 ExperimentRunner::MixBaseline
 ExperimentRunner::computeBaseline(int mix_index) const
 {
-    const workload::Mix &mix =
-        mixes_[static_cast<std::size_t>(mix_index)];
-
-    MixBaseline out;
-    for (int core = 0; core < config_.system.cores; ++core) {
-        SystemConfig solo = config_.system;
-        solo.cores = 1;
-        System system(solo,
-                      {mix.apps[static_cast<std::size_t>(core)]},
-                      config_.seed ^
-                          (static_cast<std::uint64_t>(mix_index) << 16) ^
-                          static_cast<std::uint64_t>(core));
-        const SystemResult result = system.run(
-            config_.instructionsPerCore, config_.warmupInstructions);
-        out.aloneIpc.push_back(result.coreStats[0].ipc());
-    }
-
-    System system(config_.system, mix.apps,
-                  config_.seed ^
-                      (static_cast<std::uint64_t>(mix_index) << 16));
-    mitigation::NoMitigation none;
-    system.setMitigation(&none);
-    const SystemResult result = system.run(config_.instructionsPerCore,
-                                           config_.warmupInstructions);
-    out.baselineWs = weightedSpeedup(result, out.aloneIpc);
-    return out;
+    std::vector<double> alone;
+    for (int core = 0; core < config_.system.cores; ++core)
+        alone.push_back(soloIpc(mix_index, core));
+    return MixBaseline::combine(std::move(alone),
+                                sharedBaselineIpcs(mix_index));
 }
 
 const ExperimentRunner::MixBaseline &
@@ -90,12 +141,32 @@ ExperimentRunner::prepare(const std::vector<int> &mix_indices)
     if (missing.empty())
         return;
 
-    auto baselines = pool().map(
-        missing.size(), [&](std::size_t i) {
-            return computeBaseline(missing[i]);
+    // One pool task per system run — `cores` standalone runs plus the
+    // shared baseline per mix — instead of one per mix, so the pool
+    // stays saturated even when few mixes are missing and each run is
+    // expensive (multi-channel systems tick every controller per
+    // step). Results are combined in task order, so the cache is
+    // byte-identical to the serial computeBaseline() path.
+    const auto cores = static_cast<std::size_t>(config_.system.cores);
+    const std::size_t per_mix = cores + 1;
+    auto runs = pool().map(
+        missing.size() * per_mix, [&](std::size_t i) {
+            const int mix = missing[i / per_mix];
+            const std::size_t unit = i % per_mix;
+            if (unit < cores)
+                return std::vector<double>{
+                    soloIpc(mix, static_cast<int>(unit))};
+            return sharedBaselineIpcs(mix);
         });
-    for (std::size_t i = 0; i < missing.size(); ++i)
-        baselineCache_.emplace(missing[i], std::move(baselines[i]));
+    for (std::size_t m = 0; m < missing.size(); ++m) {
+        std::vector<double> alone;
+        for (std::size_t core = 0; core < cores; ++core)
+            alone.push_back(runs[m * per_mix + core][0]);
+        baselineCache_.emplace(
+            missing[m],
+            MixBaseline::combine(std::move(alone),
+                                 runs[m * per_mix + cores]));
+    }
 }
 
 std::optional<MixOutcome>
@@ -107,18 +178,28 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
 
     const workload::Mix &mix =
         mixes_[static_cast<std::size_t>(mix_index)];
-    auto mechanism = mitigation::makeMitigation(
-        kind, hc_first, config_.system.timing,
-        config_.system.organization.rows,
-        config_.seed ^ 0x1157ULL ^
-            static_cast<std::uint64_t>(mix_index));
+    // One mechanism instance per channel (mechanisms track per-bank
+    // state keyed by the channel-local flat bank index). Channel 0
+    // keeps the historical seed so single-channel results are
+    // byte-identical to the pre-channel build.
+    std::vector<std::unique_ptr<mitigation::Mitigation>> mechanisms;
+    std::vector<mitigation::Mitigation *> attached;
+    for (int ch = 0; ch < config_.system.organization.channels; ++ch) {
+        mechanisms.push_back(mitigation::makeMitigation(
+            kind, hc_first, config_.system.timing,
+            config_.system.organization.rows,
+            config_.seed ^ 0x1157ULL ^
+                static_cast<std::uint64_t>(mix_index) ^
+                (static_cast<std::uint64_t>(ch) << 40)));
+        attached.push_back(mechanisms.back().get());
+    }
 
     const MixBaseline &base = baseline(mix_index);
 
     System system(config_.system, mix.apps,
                   config_.seed ^
                       (static_cast<std::uint64_t>(mix_index) << 16));
-    system.setMitigation(mechanism.get());
+    system.setMitigations(attached);
     const SystemResult result = system.run(config_.instructionsPerCore,
                                            config_.warmupInstructions);
 

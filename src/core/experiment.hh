@@ -64,8 +64,9 @@ struct ExperimentConfig
      *  LLC when shortening runs (see mixCatalogue). */
     std::int64_t coldBytesPerApp = 256LL * 1024 * 1024;
     /** Physical-address stride between apps' regions; 0 = packed at
-     *  coldBytesPerApp (legacy). Multi-rank geometries set this to
-     *  organization.totalBytes() / cores to span every rank. */
+     *  coldBytesPerApp (legacy). Multi-rank and multi-channel
+     *  geometries set this to organization.systemBytes() / cores to
+     *  span every rank and channel. */
     std::int64_t appRegionStride = 0;
     std::uint64_t seed = 1;
     /** Worker threads for sweep()/prepare(); 0 = one per hardware
@@ -87,9 +88,13 @@ class ExperimentRunner
 
     /**
      * Precompute (in parallel) the standalone IPCs and no-mitigation
-     * baseline of each listed mix. After prepare(), runMix() is safe to
-     * call concurrently for distinct cells: all shared caches are warm
-     * and only read.
+     * baseline of each listed mix. The work is sharded at
+     * (mix, system-run) granularity — every standalone run and every
+     * shared baseline run is its own pool task — so a handful of
+     * expensive mixes (multi-channel systems cost ~channels x as much
+     * per run) still spreads across every worker. After prepare(),
+     * runMix() is safe to call concurrently for distinct cells: all
+     * shared caches are warm and only read.
      */
     void prepare(const std::vector<int> &mix_indices);
 
@@ -117,11 +122,24 @@ class ExperimentRunner
     {
         std::vector<double> aloneIpc;
         double baselineWs = 0.0;
+
+        /** Assemble from the two kinds of baseline runs (shared by
+         *  computeBaseline() and the sharded prepare() path, so the
+         *  WS semantics live in one place). */
+        static MixBaseline combine(std::vector<double> alone_ipc,
+                                   const std::vector<double> &shared);
     };
 
     /** Weighted speedup of a shared run given standalone IPCs. */
     double weightedSpeedup(const SystemResult &shared,
                            const std::vector<double> &alone_ipc) const;
+
+    /** Standalone IPC of one app of a mix (pure; thread-safe). */
+    double soloIpc(int mix_index, int core) const;
+
+    /** Per-core IPCs of a mix's shared no-mitigation run (pure;
+     *  thread-safe). */
+    std::vector<double> sharedBaselineIpcs(int mix_index) const;
 
     /** Compute a mix's baseline from scratch (pure; thread-safe). */
     MixBaseline computeBaseline(int mix_index) const;

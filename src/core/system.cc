@@ -32,12 +32,17 @@ System::System(SystemConfig config,
                const std::vector<workload::AppProfile> &apps,
                std::uint64_t seed)
     : config_(config),
-      controller_(config.organization, config.timing,
-                  sim::Controller::Config{}, config.addressFunctions),
+      mapper_(config.organization, config.addressFunctions),
       llc_(config.llcBytes, config.llcWays, config.lineBytes)
 {
     if (static_cast<int>(apps.size()) != config_.cores)
         util::fatal("System: one application profile per core required");
+
+    for (int ch = 0; ch < config_.organization.channels; ++ch) {
+        controllers_.push_back(std::make_unique<sim::Controller>(
+            config_.organization, config_.timing,
+            sim::Controller::Config{}, config_.addressFunctions));
+    }
 
     const double device_ghz = 1.0 / config_.timing.tCKns;
     cpuRatio_ = config_.cpuGhz / device_ghz;
@@ -63,17 +68,48 @@ System::System(SystemConfig config,
 void
 System::setMitigation(mitigation::Mitigation *mechanism)
 {
-    controller_.setMitigation(mechanism);
+    if (channels() != 1) {
+        util::fatal("System::setMitigation: mechanisms keep per-bank "
+                    "state, so a multi-channel system needs one per "
+                    "channel (setMitigations)");
+    }
+    controllers_.front()->setMitigation(mechanism);
+}
+
+void
+System::setMitigations(
+    const std::vector<mitigation::Mitigation *> &mechanisms)
+{
+    if (static_cast<int>(mechanisms.size()) != channels()) {
+        util::fatal("System::setMitigations: one mechanism per channel "
+                    "required");
+    }
+    for (std::size_t ch = 0; ch < controllers_.size(); ++ch)
+        controllers_[ch]->setMitigation(mechanisms[ch]);
+}
+
+sim::ControllerStats
+System::aggregateMemStats() const
+{
+    sim::ControllerStats stats = controllers_.front()->stats();
+    for (std::size_t ch = 1; ch < controllers_.size(); ++ch)
+        stats.addChannel(controllers_[ch]->stats());
+    return stats;
 }
 
 bool
 System::sendFromCore(int core_id, std::uint64_t addr, bool write,
                      std::function<void()> done)
 {
-    // Wrap addresses into the channel's capacity.
+    // Wrap addresses into the memory system's capacity, then route by
+    // the channel field only — most accesses hit the LLC and never
+    // need the full decode, which the controller runs at enqueue for
+    // real misses.
     const auto capacity = static_cast<std::uint64_t>(
-        config_.organization.totalBytes());
+        config_.organization.systemBytes());
     addr %= capacity;
+    sim::Controller &controller = *controllers_[static_cast<std::size_t>(
+        mapper_.decodeChannel(addr))];
 
     // Conservative back-pressure check before touching LLC state, so a
     // rejected access can be retried without a double fill.
@@ -81,7 +117,7 @@ System::sendFromCore(int core_id, std::uint64_t addr, bool write,
                       config_.mshrPerCore) {
         return false;
     }
-    if (controller_.readQueueSpace() == 0)
+    if (controller.readQueueSpace() == 0)
         return false;
 
     const cpu::CacheAccessResult access = llc_.access(addr, write);
@@ -96,13 +132,16 @@ System::sendFromCore(int core_id, std::uint64_t addr, bool write,
     }
 
     // Dirty victim goes back to memory (posted; best effort if the
-    // write queue is momentarily full).
+    // write queue is momentarily full). The victim line routes by its
+    // own address, which may be a different channel.
     if (access.writeback) {
         sim::Request wb;
         wb.addr = *access.writeback;
         wb.type = sim::Request::Type::Write;
         wb.coreId = core_id;
-        controller_.enqueue(std::move(wb));
+        controllers_[static_cast<std::size_t>(
+                         mapper_.decodeChannel(wb.addr))]
+            ->enqueue(std::move(wb));
     }
 
     sim::Request request;
@@ -110,7 +149,7 @@ System::sendFromCore(int core_id, std::uint64_t addr, bool write,
     request.coreId = core_id;
     if (write) {
         request.type = sim::Request::Type::Write;
-        controller_.enqueue(std::move(request));
+        controller.enqueue(std::move(request));
         if (done)
             done();
         return true;
@@ -124,7 +163,7 @@ System::sendFromCore(int core_id, std::uint64_t addr, bool write,
         if (done)
             done();
     };
-    if (!controller_.enqueue(std::move(request))) {
+    if (!controller.enqueue(std::move(request))) {
         --mshr;
         return false;
     }
@@ -149,7 +188,8 @@ System::cpuTick()
 void
 System::step()
 {
-    controller_.tick();
+    for (auto &controller : controllers_)
+        controller->tick();
     cpuBudget_ += cpuRatio_;
     while (cpuBudget_ >= 1.0) {
         cpuTick();
@@ -174,10 +214,10 @@ System::run(std::int64_t instructions_per_core,
         // Guard against pathological configurations.
         const std::int64_t max_device_cycles =
             2LL * 1000 * 1000 * 1000;
-        std::int64_t start = controller_.now();
+        std::int64_t start = controllers_.front()->now();
         while (!all_retired(targets)) {
             step();
-            if (controller_.now() - start > max_device_cycles) {
+            if (controllers_.front()->now() - start > max_device_cycles) {
                 util::fatal("System::run: simulation did not converge "
                             "(mitigation overhead may be saturating "
                             "the DRAM channel)");
@@ -195,7 +235,7 @@ System::run(std::int64_t instructions_per_core,
     for (const auto &c : cores_)
         base_core.push_back(c->stats());
     const cpu::CacheStats base_llc = llc_.stats();
-    const sim::ControllerStats base_mem = controller_.stats();
+    const sim::ControllerStats base_mem = aggregateMemStats();
     const std::int64_t base_cpu = cpuCycle_;
 
     // Measure exactly instructions_per_core beyond each core's actual
@@ -219,7 +259,7 @@ System::run(std::int64_t instructions_per_core,
     result.llcStats.hits -= base_llc.hits;
     result.llcStats.misses -= base_llc.misses;
     result.llcStats.writebacks -= base_llc.writebacks;
-    result.memStats = controller_.stats();
+    result.memStats = aggregateMemStats();
     result.memStats.cycles -= base_mem.cycles;
     result.memStats.readsServed -= base_mem.readsServed;
     result.memStats.writesServed -= base_mem.writesServed;

@@ -1,9 +1,16 @@
 /**
  * @file
  * Full-system model per the paper's Table 6: N trace-driven cores at
- * 4 GHz sharing a 16 MB LLC and a single-channel DDR4 memory system,
- * with an optional RowHammer mitigation mechanism attached to the
- * memory controller. This is the simulation harness behind Figure 10.
+ * 4 GHz sharing a 16 MB LLC and a DDR4 memory system of one or more
+ * channels (Table 6 itself is single-channel), with an optional
+ * RowHammer mitigation mechanism attached to each memory controller.
+ * This is the simulation harness behind Figure 10.
+ *
+ * Each channel is one independent sim::Controller; the active
+ * dram::AddressFunctions decode a channel index from every physical
+ * address (see sim::AddressMapper) and the System routes the request
+ * to that channel's controller. All controllers advance in lockstep,
+ * one device cycle per step().
  */
 
 #ifndef ROWHAMMER_CORE_SYSTEM_HH
@@ -34,6 +41,8 @@ struct SystemConfig
     int lineBytes = 64;
     int llcHitLatencyCpu = 20; ///< CPU cycles.
     int mshrPerCore = 16;
+    /** Memory-system geometry; organization.channels controllers are
+     *  instantiated (Table 6 default: 1). */
     dram::Organization organization = dram::table6Organization();
     dram::TimingSpec timing = dram::ddr4_2400();
     /** Physical-address translation (default: the linear layout). */
@@ -72,8 +81,29 @@ class System
            const std::vector<workload::AppProfile> &apps,
            std::uint64_t seed);
 
-    /** Attach a mitigation mechanism (not owned; may be nullptr). */
+    /**
+     * Attach a mitigation mechanism (not owned; may be nullptr).
+     * Single-channel systems only: mechanisms keep per-flat-bank state,
+     * so channels must not share one instance — multi-channel systems
+     * use setMitigations() with one mechanism per channel.
+     */
     void setMitigation(mitigation::Mitigation *mechanism);
+
+    /**
+     * Attach one mitigation mechanism per channel (size must equal
+     * organization.channels; entries not owned, may be nullptr).
+     */
+    void setMitigations(
+        const std::vector<mitigation::Mitigation *> &mechanisms);
+
+    /** Number of memory channels (== controllers). */
+    int channels() const { return static_cast<int>(controllers_.size()); }
+
+    /** Channel `i`'s memory controller (for tests and observers). */
+    sim::Controller &channelController(int i)
+    {
+        return *controllers_[static_cast<std::size_t>(i)];
+    }
 
     /**
      * Run until every core has retired at least
@@ -106,9 +136,16 @@ class System
     bool sendFromCore(int core_id, std::uint64_t addr, bool write,
                       std::function<void()> done);
     void cpuTick();
+    /** Per-channel stats folded into one aggregate (see
+     *  ControllerStats::addChannel). */
+    sim::ControllerStats aggregateMemStats() const;
 
     SystemConfig config_;
-    sim::Controller controller_;
+    /** One memory controller per channel, advancing in lockstep. */
+    std::vector<std::unique_ptr<sim::Controller>> controllers_;
+    /** Routing copy of the active address mapping (each controller
+     *  compiles its own identical instance for decode-at-enqueue). */
+    sim::AddressMapper mapper_;
     cpu::Cache llc_;
     std::vector<std::unique_ptr<workload::SyntheticTrace>> traces_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;

@@ -78,6 +78,8 @@ struct LevelRef
 };
 
 constexpr LevelRef levels[] = {
+    {"channel", &AddressFunctions::channelMasks,
+     &AddressBitLayout::channelBits},
     {"column", &AddressFunctions::columnMasks,
      &AddressBitLayout::columnBits},
     {"bankgroup", &AddressFunctions::bankGroupMasks,
@@ -116,14 +118,15 @@ AddressBitLayout
 AddressBitLayout::of(const Organization &org, bool *ok)
 {
     AddressBitLayout layout;
-    const bool pow2 = isPow2(org.bytesPerColumn) && isPow2(org.columns) &&
-        isPow2(org.bankGroups) && isPow2(org.banksPerGroup) &&
-        isPow2(org.ranks) && isPow2(org.rows);
+    const bool pow2 = isPow2(org.bytesPerColumn) && isPow2(org.channels) &&
+        isPow2(org.columns) && isPow2(org.bankGroups) &&
+        isPow2(org.banksPerGroup) && isPow2(org.ranks) && isPow2(org.rows);
     if (ok)
         *ok = pow2;
     if (!pow2)
         return layout;
     layout.offsetBits = log2Of(org.bytesPerColumn);
+    layout.channelBits = log2Of(org.channels);
     layout.columnBits = log2Of(org.columns);
     layout.bankGroupBits = log2Of(org.bankGroups);
     layout.bankBits = log2Of(org.banksPerGroup);
@@ -141,7 +144,7 @@ AddressFunctions::linear()
 std::vector<std::string>
 AddressFunctions::presetNames()
 {
-    return {"linear", "bank-xor", "rank-xor"};
+    return {"linear", "bank-xor", "rank-xor", "channel-xor"};
 }
 
 AddressFunctions
@@ -160,6 +163,8 @@ AddressFunctions::preset(const std::string &name, const Organization &org)
     AddressFunctions fns;
     fns.scheme = Scheme::Xor;
     fns.name = name;
+    fns.channelMasks = identityMasks(layout.channelBase(),
+                                     layout.channelBits);
     fns.columnMasks = identityMasks(layout.columnBase(),
                                     layout.columnBits);
     fns.bankGroupMasks =
@@ -168,7 +173,8 @@ AddressFunctions::preset(const std::string &name, const Organization &org)
     fns.rankMasks = identityMasks(layout.rankBase(), layout.rankBits);
     fns.rowMasks = identityMasks(layout.rowBase(), layout.rowBits);
 
-    if (name != "bank-xor" && name != "rank-xor") {
+    if (name != "bank-xor" && name != "rank-xor" &&
+        name != "channel-xor") {
         std::string known;
         for (const std::string &p : presetNames())
             known += (known.empty() ? "" : ", ") + p;
@@ -182,10 +188,13 @@ AddressFunctions::preset(const std::string &name, const Organization &org)
     const int bank_select_bits = layout.bankGroupBits + layout.bankBits;
     const int rank_select_bits =
         name == "rank-xor" ? layout.rankBits : 0;
-    if (layout.rowBits < bank_select_bits + rank_select_bits) {
+    const int channel_select_bits =
+        name == "channel-xor" ? layout.channelBits : 0;
+    if (layout.rowBits <
+        bank_select_bits + rank_select_bits + channel_select_bits) {
         util::fatal("AddressFunctions: preset '" + name +
-                    "' needs at least as many row bits as bank/rank "
-                    "select bits");
+                    "' needs at least as many row bits as bank/rank/"
+                    "channel select bits");
     }
     int row_bit = layout.rowBase();
     for (int i = 0; i < layout.bankGroupBits; ++i)
@@ -202,6 +211,17 @@ AddressFunctions::preset(const std::string &name, const Organization &org)
         }
         for (int i = 0; i < layout.rankBits; ++i)
             fns.rankMasks[static_cast<std::size_t>(i)] |=
+                std::uint64_t{1} << row_bit++;
+    }
+
+    if (name == "channel-xor") {
+        if (org.channels < 2) {
+            util::fatal("AddressFunctions: preset 'channel-xor' is the "
+                        "multi-channel variant; the geometry has 1 "
+                        "channel");
+        }
+        for (int i = 0; i < layout.channelBits; ++i)
+            fns.channelMasks[static_cast<std::size_t>(i)] |=
                 std::uint64_t{1} << row_bit++;
     }
 
@@ -259,7 +279,8 @@ AddressFunctions::parse(std::istream &in, const Organization &org,
             util::fatal("AddressFunctions: " + name + " line " +
                         std::to_string(line_no) + ": unknown level '" +
                         level +
-                        "' (column, bankgroup, bank, rank, row)");
+                        "' (channel, column, bankgroup, bank, rank, "
+                        "row)");
         }
     }
 
@@ -317,7 +338,7 @@ AddressFunctions::valid(const Organization &org, std::string *why) const
 
     const std::uint64_t offset_bits =
         (std::uint64_t{1} << layout.offsetBits) - 1;
-    const std::uint64_t channel_bits =
+    const std::uint64_t address_bits =
         (std::uint64_t{1} << layout.totalBits()) - 1;
     for (const LevelRef &ref : levels) {
         for (std::uint64_t mask : this->*(ref.masks)) {
@@ -329,9 +350,9 @@ AddressFunctions::valid(const Organization &org, std::string *why) const
                                      " mask covers in-column byte-"
                                      "offset bits");
             }
-            if (mask & ~channel_bits) {
+            if (mask & ~address_bits) {
                 return fail(why, std::string(ref.name) +
-                                     " mask exceeds the channel's "
+                                     " mask exceeds the geometry's "
                                      "address bits");
             }
         }

@@ -15,10 +15,11 @@
  * decode/encode inverses.
  *
  * The default-constructed spec is the `linear` scheme: the repository's
- * historical mixed-radix layout (offset, column, bank group, bank,
- * rank, row from LSB to MSB), which works for any geometry, including
- * non-power-of-two field sizes. XOR specs require power-of-two
- * geometry in every field.
+ * historical mixed-radix layout (offset, channel, column, bank group,
+ * bank, rank, row from LSB to MSB — channel bits sit right above the
+ * byte offset, so consecutive cache lines interleave across channels),
+ * which works for any geometry, including non-power-of-two field
+ * sizes. XOR specs require power-of-two geometry in every field.
  */
 
 #ifndef ROWHAMMER_DRAM_ADDRESS_FUNCTIONS_HH
@@ -52,6 +53,7 @@ struct AddressFunctions
 
     Scheme scheme = Scheme::Linear;
     std::string name = "linear";
+    std::vector<std::uint64_t> channelMasks;
     std::vector<std::uint64_t> columnMasks;
     std::vector<std::uint64_t> bankGroupMasks;
     std::vector<std::uint64_t> bankMasks;
@@ -69,7 +71,10 @@ struct AddressFunctions
      *    interleaving of row-conflict streams);
      *  - "rank-xor": bank-xor plus the rank select XORed with the next
      *    row bits — the multi-rank Table 6 variant (requires >= 2
-     *    ranks).
+     *    ranks);
+     *  - "channel-xor": bank-xor plus the channel select XORed with
+     *    the next row bits, so row-conflict streams spread across
+     *    memory controllers too (requires >= 2 channels).
      * fatal() on an unknown name or a geometry the preset cannot fit.
      */
     static AddressFunctions preset(const std::string &name,
@@ -81,7 +86,7 @@ struct AddressFunctions
     /**
      * Parse a custom XOR spec. One line per output bit, LSB first
      * within each level, `<level> <mask>` where level is one of
-     * column, bankgroup, bank, rank, row and mask is a C-style integer
+     * channel, column, bankgroup, bank, rank, row and mask is a C-style integer
      * (0x.. hex recommended). '#' starts a comment. fatal() on syntax
      * errors or an invalid resulting spec.
      */
@@ -113,19 +118,23 @@ struct AddressFunctions
 /**
  * Bit layout of the linearized DRAM address (the Xor scheme's
  * intermediate form and the linear scheme's direct form): field base
- * positions and widths, LSB to MSB offset | column | bank group | bank
- * | rank | row.
+ * positions and widths, LSB to MSB offset | channel | column | bank
+ * group | bank | rank | row. Channel bits sit right above the byte
+ * offset (cache-line channel interleaving); with one channel the
+ * field is empty and the layout is exactly the historical one.
  */
 struct AddressBitLayout
 {
     int offsetBits = 0;
+    int channelBits = 0;
     int columnBits = 0;
     int bankGroupBits = 0;
     int bankBits = 0;
     int rankBits = 0;
     int rowBits = 0;
 
-    int columnBase() const { return offsetBits; }
+    int channelBase() const { return offsetBits; }
+    int columnBase() const { return channelBase() + channelBits; }
     int bankGroupBase() const { return columnBase() + columnBits; }
     int bankBase() const { return bankGroupBase() + bankGroupBits; }
     int rankBase() const { return bankBase() + bankBits; }

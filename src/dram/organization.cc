@@ -8,8 +8,9 @@ namespace rowhammer::dram
 void
 Organization::check() const
 {
-    if (ranks <= 0 || bankGroups <= 0 || banksPerGroup <= 0 || rows <= 0 ||
-        columns <= 0 || bytesPerColumn <= 0) {
+    if (channels <= 0 || ranks <= 0 || bankGroups <= 0 ||
+        banksPerGroup <= 0 || rows <= 0 || columns <= 0 ||
+        bytesPerColumn <= 0) {
         util::fatal("Organization: all dimensions must be positive");
     }
 }

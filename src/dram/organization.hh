@@ -16,12 +16,21 @@ namespace rowhammer::dram
 {
 
 /**
- * Geometry of one DRAM channel. Table 6 of the paper: 1 channel, 1 rank,
- * 4 bank groups x 4 banks, 16k rows per bank; we default the row to 128
- * cache-line-sized columns (8 KB row).
+ * Geometry of the memory system. Table 6 of the paper: 1 channel, 1
+ * rank, 4 bank groups x 4 banks, 16k rows per bank; we default the row
+ * to 128 cache-line-sized columns (8 KB row).
+ *
+ * All fields except `channels` describe ONE channel, and every channel
+ * is identical: dram::Device and sim::Controller model a single channel
+ * and ignore `channels`; the channel dimension exists for address
+ * translation (sim::AddressMapper decodes a channel index) and routing
+ * (core::System owns one controller per channel). The total/flat
+ * helpers stay per-channel; the system* / global* helpers span the
+ * whole memory system.
  */
 struct Organization
 {
+    int channels = 1;
     int ranks = 1;
     int bankGroups = 4;
     int banksPerGroup = 4;
@@ -50,6 +59,21 @@ struct Organization
     /** Channel capacity in bytes. */
     std::int64_t totalBytes() const { return totalRows() * rowBytes(); }
 
+    /** Banks across every channel. */
+    int systemBanks() const { return channels * totalBanks(); }
+
+    /** Rows across every channel. */
+    std::int64_t systemRows() const
+    {
+        return static_cast<std::int64_t>(channels) * totalRows();
+    }
+
+    /** Whole-memory-system capacity in bytes. */
+    std::int64_t systemBytes() const
+    {
+        return static_cast<std::int64_t>(channels) * totalBytes();
+    }
+
     /** Flattened bank index in [0, totalBanks()). */
     int flatBank(const Address &addr) const
     {
@@ -65,7 +89,7 @@ struct Organization
 
     /**
      * Inverse of flatBank(): the rank/bank-group/bank fields of a flat
-     * bank index (row and column zero).
+     * bank index (channel, row, and column zero).
      */
     Address bankAddress(int flat_bank) const
     {
@@ -77,10 +101,27 @@ struct Organization
         return addr;
     }
 
+    /** Flattened bank index across channels, in [0, systemBanks()):
+     *  channel-major, so channel 0's banks keep their single-channel
+     *  flat indices. */
+    int globalFlatBank(const Address &addr) const
+    {
+        return addr.channel * totalBanks() + flatBank(addr);
+    }
+
+    /** Inverse of globalFlatBank() (row and column zero). */
+    Address globalBankAddress(int global_bank) const
+    {
+        Address addr = bankAddress(global_bank % totalBanks());
+        addr.channel = global_bank / totalBanks();
+        return addr;
+    }
+
     /** True iff all fields of addr are in range. */
     bool contains(const Address &addr) const
     {
-        return addr.rank >= 0 && addr.rank < ranks && addr.bankGroup >= 0 &&
+        return addr.channel >= 0 && addr.channel < channels &&
+            addr.rank >= 0 && addr.rank < ranks && addr.bankGroup >= 0 &&
             addr.bankGroup < bankGroups && addr.bank >= 0 &&
             addr.bank < banksPerGroup && addr.row >= 0 && addr.row < rows &&
             addr.column >= 0 && addr.column < columns;

@@ -51,10 +51,14 @@ constexpr int numCommands = static_cast<int>(Command::NumCommands);
 
 /**
  * Fully-decoded device address. Fields beyond a command's scope are
- * ignored (e.g. row for RD; bank for PREA/REF).
+ * ignored (e.g. row for RD; bank for PREA/REF). `channel` selects the
+ * memory controller a request routes to (core::System); within one
+ * controller/device every address belongs to that channel and the
+ * field is carried but ignored.
  */
 struct Address
 {
+    int channel = 0;
     int rank = 0;
     int bankGroup = 0;
     int bank = 0;

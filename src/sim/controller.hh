@@ -52,6 +52,11 @@ struct ControllerStats
     /** Geometry's rank count (set by the controller); busy time
      *  accumulates per rank, so overhead normalizes by rank-time. */
     int ranks = 1;
+    /** Channels these statistics aggregate over (1 for a single
+     *  controller; core::System sums per-channel stats with
+     *  addChannel()). Overhead normalizes by channel-time the same
+     *  way it normalizes by rank-time. */
+    int channels = 1;
 
     /** Paper Figure 10a metric: percent of DRAM time spent on the
      *  mitigation mechanism. */
@@ -61,7 +66,29 @@ struct ControllerStats
             return 0.0;
         return 100.0 * mitigationBusyCycles /
             (static_cast<double>(cycles) *
-             static_cast<double>(std::max(1, ranks)));
+             static_cast<double>(std::max(1, ranks)) *
+             static_cast<double>(std::max(1, channels)));
+    }
+
+    /**
+     * Fold another channel's statistics into this aggregate: counters
+     * and busy time sum, `cycles` stays wall-clock (all channels
+     * advance in lockstep, so it takes the max), and `channels`
+     * accumulates so bandwidthOverheadPercent() keeps normalizing by
+     * total DRAM time (cycles x ranks x channels).
+     */
+    void addChannel(const ControllerStats &other)
+    {
+        cycles = std::max(cycles, other.cycles);
+        readsServed += other.readsServed;
+        writesServed += other.writesServed;
+        demandActs += other.demandActs;
+        autoRefreshes += other.autoRefreshes;
+        mitigationRefreshes += other.mitigationRefreshes;
+        mitigationBusyCycles += other.mitigationBusyCycles;
+        readQueueFullEvents += other.readQueueFullEvents;
+        ranks = std::max(ranks, other.ranks);
+        channels += other.channels;
     }
 };
 

@@ -28,6 +28,8 @@ AddressMapper::decode(std::uint64_t addr) const
     if (fns_.scheme == dram::AddressFunctions::Scheme::Xor) {
         const auto &layout = matrix_.layout;
         const std::uint64_t lin = matrix_.applyDecode(addr);
+        out.channel = static_cast<int>(
+            (lin >> layout.channelBase()) & (org_.channels - 1));
         out.column = static_cast<int>(
             (lin >> layout.columnBase()) & (org_.columns - 1));
         out.bankGroup = static_cast<int>(
@@ -41,6 +43,9 @@ AddressMapper::decode(std::uint64_t addr) const
         return out;
     }
     std::uint64_t x = addr / static_cast<std::uint64_t>(org_.bytesPerColumn);
+    out.channel = static_cast<int>(
+        x % static_cast<std::uint64_t>(org_.channels));
+    x /= static_cast<std::uint64_t>(org_.channels);
     out.column = static_cast<int>(x % static_cast<std::uint64_t>(
                                           org_.columns));
     x /= static_cast<std::uint64_t>(org_.columns);
@@ -57,6 +62,30 @@ AddressMapper::decode(std::uint64_t addr) const
     return out;
 }
 
+int
+AddressMapper::decodeChannel(std::uint64_t addr) const
+{
+    if (org_.channels == 1)
+        return 0;
+    if (fns_.scheme == dram::AddressFunctions::Scheme::Xor) {
+        // Channel rows sit at their output bit positions in the
+        // decode matrix (row index == linearized bit index).
+        const auto &layout = matrix_.layout;
+        int channel = 0;
+        for (int i = 0; i < layout.channelBits; ++i) {
+            channel |= __builtin_parityll(
+                           matrix_.decodeRows[static_cast<std::size_t>(
+                               layout.channelBase() + i)] &
+                           addr)
+                << i;
+        }
+        return channel;
+    }
+    return static_cast<int>(
+        addr / static_cast<std::uint64_t>(org_.bytesPerColumn) %
+        static_cast<std::uint64_t>(org_.channels));
+}
+
 std::uint64_t
 AddressMapper::encode(const dram::Address &addr) const
 {
@@ -65,6 +94,8 @@ AddressMapper::encode(const dram::Address &addr) const
     if (fns_.scheme == dram::AddressFunctions::Scheme::Xor) {
         const auto &layout = matrix_.layout;
         const std::uint64_t lin =
+            (static_cast<std::uint64_t>(addr.channel)
+             << layout.channelBase()) |
             (static_cast<std::uint64_t>(addr.column)
              << layout.columnBase()) |
             (static_cast<std::uint64_t>(addr.bankGroup)
@@ -85,6 +116,8 @@ AddressMapper::encode(const dram::Address &addr) const
         static_cast<std::uint64_t>(addr.bankGroup);
     x = x * static_cast<std::uint64_t>(org_.columns) +
         static_cast<std::uint64_t>(addr.column);
+    x = x * static_cast<std::uint64_t>(org_.channels) +
+        static_cast<std::uint64_t>(addr.channel);
     return x * static_cast<std::uint64_t>(org_.bytesPerColumn);
 }
 

@@ -37,12 +37,16 @@ struct Request
 /**
  * Physical-address to device-address mapping, compiled from a
  * dram::AddressFunctions spec. The default (linear) spec is the
- * historical layout (LSB to MSB): 6-bit line offset, column, bank
- * group, bank, rank, row — consecutive cache lines fill a row before
- * moving to the next bank, giving row-buffer locality to streaming
- * access patterns. XOR specs instead evaluate one GF(2) parity
- * function per address bit (zenhammer-style bank/rank interleaving);
- * encode() is the exact inverse of decode() for every valid spec.
+ * historical layout (LSB to MSB): 6-bit line offset, channel, column,
+ * bank group, bank, rank, row — consecutive cache lines interleave
+ * across channels, then fill a row before moving to the next bank,
+ * giving row-buffer locality to streaming access patterns (with one
+ * channel this is exactly the historical single-channel layout). XOR
+ * specs instead evaluate one GF(2) parity function per address bit
+ * (zenhammer-style channel/bank/rank interleaving); encode() is the
+ * exact inverse of decode() for every valid spec. decode() fills
+ * Address::channel; core::System routes each request to that
+ * channel's controller.
  */
 class AddressMapper
 {
@@ -55,6 +59,14 @@ class AddressMapper
                   dram::AddressFunctions functions);
 
     dram::Address decode(std::uint64_t addr) const;
+
+    /**
+     * Just the channel field of decode(addr), without the full field
+     * extraction: core::System routes every core access (including
+     * LLC hits that never reach DRAM) with this, and the owning
+     * controller runs the full decode only for real misses.
+     */
+    int decodeChannel(std::uint64_t addr) const;
 
     /** Inverse of decode (trace generators invert the mapping with
      *  this — it is how an attacker lands aggressors in one bank). */

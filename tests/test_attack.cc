@@ -696,6 +696,144 @@ TEST(Remap, MultiRankSweepDiffersFromSingleRank)
     EXPECT_NE(renderSweepCells(single), renderSweepCells(multi));
 }
 
+TEST(Remap, ChannelNaiveAggressorsLandOnOtherControllers)
+{
+    // The channel dimension specifically (not just another bank): an
+    // aggressor offset that flips only the channel-xor fold bit keeps
+    // the per-channel bank selects intact, so the slot would survive a
+    // channel-blind (flatBank) comparison — it must still be dropped,
+    // because it hammers a different controller's DRAM.
+    dram::Organization org;
+    org.channels = 2;
+    org.bankGroups = 4;
+    org.banksPerGroup = 2;
+    org.rows = 4096;
+    sim::AddressMapper actual(
+        org, dram::AddressFunctions::preset("channel-xor", org));
+    sim::AddressMapper assumed(org);
+
+    // Layout: bank-group folds take row bits 0-1, bank folds row bit
+    // 2, the channel fold row bit 3 — victim +/- 8 flips only the
+    // channel select.
+    dram::Address victim_addr = org.globalBankAddress(5);
+    victim_addr.row = 1000;
+    const dram::Address believed_addr =
+        assumed.decode(actual.encode(victim_addr));
+
+    AccessPattern believed;
+    believed.bank = org.globalFlatBank(believed_addr);
+    believed.victimRow = believed_addr.row;
+    believed.blastRadius = 8;
+    believed.slots.push_back(AggressorSlot{believed.victimRow - 8, 1,
+                                           0, 1});
+    believed.slots.push_back(AggressorSlot{believed.victimRow + 8, 1,
+                                           0, 1});
+
+    const RemappedPattern landed =
+        remapPattern(believed, assumed, actual);
+    EXPECT_EQ(landed.droppedSlots, 2);
+    EXPECT_TRUE(landed.pattern.slots.empty());
+
+    // Sanity: each believed slot really lands in the victim's
+    // per-channel bank, only on the other controller.
+    for (const AggressorSlot &slot : believed.slots) {
+        dram::Address aimed = org.globalBankAddress(believed.bank);
+        aimed.row = slot.row;
+        const dram::Address where =
+            actual.decode(assumed.encode(aimed));
+        EXPECT_EQ(org.flatBank(where), org.flatBank(victim_addr));
+        EXPECT_NE(where.channel, victim_addr.channel);
+    }
+}
+
+TEST(Remap, SweepWithChannelAwareAttackerReproducesBypassTable)
+{
+    SweepConfig config;
+    config.hcFirst = 2000.0;
+    config.fuzzCount = 1;
+    config.nSides = {4};
+    config.samplerSizes = {2};
+    config.activationBudget = 24000;
+    config.threads = 2;
+    config.geometry.banks = 16;
+
+    const auto linear_cells = runSweep(config);
+
+    config.mapping = "channel-xor";
+    config.mappingChannels = 2;
+    const auto aware_cells = runSweep(config);
+
+    // A zenhammer-style attacker that recovered the channel functions
+    // inverts them exactly: the whole TRR-bypass table reproduces cell
+    // for cell under the 2-channel mapping.
+    ASSERT_EQ(linear_cells.size(), aware_cells.size());
+    for (std::size_t i = 0; i < linear_cells.size(); ++i) {
+        EXPECT_EQ(aware_cells[i].pattern,
+                  linear_cells[i].pattern + "@channel-xor");
+        EXPECT_EQ(aware_cells[i].mechanism, linear_cells[i].mechanism);
+        EXPECT_EQ(aware_cells[i].flips, linear_cells[i].flips);
+        EXPECT_EQ(aware_cells[i].mitigationRefreshes,
+                  linear_cells[i].mitigationRefreshes);
+    }
+
+    // And that table exhibits the headline: the unprotected chip
+    // flips, TRR-2 stops double-sided, 4-sided bypasses TRR-2.
+    const auto flips_of = [&](const std::string &pattern,
+                              const std::string &mechanism) {
+        for (const auto &cell : aware_cells) {
+            if (cell.pattern == pattern && cell.mechanism == mechanism)
+                return cell.flips;
+        }
+        ADD_FAILURE() << "missing cell " << pattern << "/" << mechanism;
+        return std::int64_t{-1};
+    };
+    EXPECT_GT(flips_of("double-sided@channel-xor", "None"), 0);
+    EXPECT_EQ(flips_of("double-sided@channel-xor", "TRR-2"), 0);
+    EXPECT_GT(flips_of("4-sided@channel-xor", "TRR-2"), 0);
+}
+
+TEST(Remap, ChannelNaiveAttackerCannotReproduceBypassTable)
+{
+    SweepConfig config;
+    config.hcFirst = 2000.0;
+    config.fuzzCount = 1;
+    config.nSides = {4};
+    config.samplerSizes = {2};
+    config.activationBudget = 24000;
+    config.threads = 2;
+    config.geometry.banks = 16;
+
+    const auto linear_cells = runSweep(config);
+
+    config.mapping = "channel-xor";
+    config.mappingChannels = 2;
+    config.attackerMapping = "linear";
+    const auto naive_cells = runSweep(config);
+
+    ASSERT_EQ(linear_cells.size(), naive_cells.size());
+    EXPECT_NE(renderSweepCells(linear_cells),
+              renderSweepCells(naive_cells));
+
+    // The naive double-sided pair scatters off the victim's controller
+    // and bank: zero flips even with no mitigation at all, while the
+    // correctly-landed attack flips freely.
+    std::int64_t linear_none = 0;
+    std::int64_t naive_none = 0;
+    for (std::size_t i = 0; i < linear_cells.size(); ++i) {
+        if (linear_cells[i].mechanism == "None") {
+            linear_none += linear_cells[i].flips;
+            naive_none += naive_cells[i].flips;
+        }
+        if (naive_cells[i].pattern ==
+                "double-sided@channel-xor!naive" &&
+            naive_cells[i].mechanism == "None") {
+            EXPECT_EQ(naive_cells[i].flips, 0);
+        }
+    }
+    EXPECT_GT(linear_none, 0);
+    EXPECT_LT(naive_none, linear_none);
+}
+
 TEST(TraceAdapter, InvertsXorMappingToLandAggressorsInOneBank)
 {
     // The cycle-accurate path's core attack property: whatever the

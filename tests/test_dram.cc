@@ -266,6 +266,31 @@ TEST(Organization, BankAddressInvertsFlatBank)
     EXPECT_EQ(org.bankAddress(org.totalBanks() - 1).rank, 1);
 }
 
+TEST(Organization, MultiChannelSizesAndGlobalBanks)
+{
+    Organization org = table6Organization();
+    org.channels = 2;
+    // Per-channel helpers are unchanged by the channel count; system
+    // helpers span every channel.
+    EXPECT_EQ(org.totalBanks(), 16);
+    EXPECT_EQ(org.systemBanks(), 32);
+    EXPECT_EQ(org.systemRows(), 2 * org.totalRows());
+    EXPECT_EQ(org.systemBytes(), 4LL * 1024 * 1024 * 1024);
+
+    // globalBankAddress inverts globalFlatBank, channel-major: channel
+    // 0's banks keep their single-channel flat indices.
+    for (int global = 0; global < org.systemBanks(); ++global) {
+        const Address addr = org.globalBankAddress(global);
+        EXPECT_TRUE(org.contains(addr));
+        EXPECT_EQ(org.globalFlatBank(addr), global);
+        EXPECT_EQ(addr.channel, global / org.totalBanks());
+    }
+
+    Address out_of_range = org.globalBankAddress(0);
+    out_of_range.channel = 2;
+    EXPECT_FALSE(org.contains(out_of_range));
+}
+
 TEST(AddressFunctions, PresetsValidForTable6)
 {
     Organization org = table6Organization();
@@ -273,6 +298,40 @@ TEST(AddressFunctions, PresetsValidForTable6)
     EXPECT_TRUE(AddressFunctions::preset("bank-xor", org).valid(org));
     org.ranks = 2;
     EXPECT_TRUE(AddressFunctions::preset("rank-xor", org).valid(org));
+    org.channels = 2;
+    EXPECT_TRUE(
+        AddressFunctions::preset("channel-xor", org).valid(org));
+}
+
+TEST(AddressFunctions, ChannelXorNeedsMultiChannel)
+{
+    EXPECT_THROW(
+        AddressFunctions::preset("channel-xor", table6Organization()),
+        FatalError);
+}
+
+TEST(AddressFunctions, ChannelXorFoldsRowBitsIntoChannelSelects)
+{
+    Organization org = table6Organization();
+    org.channels = 4;
+    const AddressFunctions fns =
+        AddressFunctions::preset("channel-xor", org);
+    const AddressBitLayout layout = AddressBitLayout::of(org);
+    ASSERT_EQ(fns.channelMasks.size(), 2u);
+    for (std::size_t i = 0; i < fns.channelMasks.size(); ++i) {
+        EXPECT_EQ(__builtin_popcountll(fns.channelMasks[i]), 2);
+        EXPECT_TRUE(fns.channelMasks[i] &
+                    (std::uint64_t{1}
+                     << (layout.channelBase() + static_cast<int>(i))));
+        EXPECT_TRUE(fns.channelMasks[i] >>
+                    layout.rowBase()); // The folded row bit.
+    }
+    // Bank selects fold too (channel-xor extends bank-xor); the rank
+    // select stays identity so single-rank geometries qualify.
+    for (std::size_t i = 0; i < fns.bankGroupMasks.size(); ++i)
+        EXPECT_EQ(__builtin_popcountll(fns.bankGroupMasks[i]), 2);
+    for (std::size_t i = 0; i < fns.rankMasks.size(); ++i)
+        EXPECT_EQ(__builtin_popcountll(fns.rankMasks[i]), 1);
 }
 
 TEST(AddressFunctions, UnknownPresetRejected)
@@ -320,32 +379,39 @@ TEST(AddressFunctions, BankXorFoldsRowBitsIntoBankSelects)
 
 TEST(AddressFunctions, ParseRoundTrip)
 {
-    const Organization org = table6Organization();
-    const AddressFunctions built =
-        AddressFunctions::preset("bank-xor", org);
+    // Serialize a preset to mask-file syntax and parse it back; with a
+    // multi-channel geometry the `channel` level exercises too.
+    Organization org = table6Organization();
+    org.channels = 2;
+    for (const char *preset : {"bank-xor", "channel-xor"}) {
+        const AddressFunctions built =
+            AddressFunctions::preset(preset, org);
 
-    std::ostringstream text;
-    text << "# bank-xor serialized\n";
-    auto dump = [&](const char *level,
-                    const std::vector<std::uint64_t> &masks) {
-        for (std::uint64_t mask : masks)
-            text << level << " 0x" << std::hex << mask << std::dec
-                 << "\n";
-    };
-    dump("column", built.columnMasks);
-    dump("bankgroup", built.bankGroupMasks);
-    dump("bank", built.bankMasks);
-    dump("rank", built.rankMasks);
-    dump("row", built.rowMasks);
+        std::ostringstream text;
+        text << "# " << preset << " serialized\n";
+        auto dump = [&](const char *level,
+                        const std::vector<std::uint64_t> &masks) {
+            for (std::uint64_t mask : masks)
+                text << level << " 0x" << std::hex << mask << std::dec
+                     << "\n";
+        };
+        dump("channel", built.channelMasks);
+        dump("column", built.columnMasks);
+        dump("bankgroup", built.bankGroupMasks);
+        dump("bank", built.bankMasks);
+        dump("rank", built.rankMasks);
+        dump("row", built.rowMasks);
 
-    std::istringstream in(text.str());
-    const AddressFunctions parsed =
-        AddressFunctions::parse(in, org, "round-trip");
-    EXPECT_EQ(parsed.columnMasks, built.columnMasks);
-    EXPECT_EQ(parsed.bankGroupMasks, built.bankGroupMasks);
-    EXPECT_EQ(parsed.bankMasks, built.bankMasks);
-    EXPECT_EQ(parsed.rankMasks, built.rankMasks);
-    EXPECT_EQ(parsed.rowMasks, built.rowMasks);
+        std::istringstream in(text.str());
+        const AddressFunctions parsed =
+            AddressFunctions::parse(in, org, "round-trip");
+        EXPECT_EQ(parsed.channelMasks, built.channelMasks);
+        EXPECT_EQ(parsed.columnMasks, built.columnMasks);
+        EXPECT_EQ(parsed.bankGroupMasks, built.bankGroupMasks);
+        EXPECT_EQ(parsed.bankMasks, built.bankMasks);
+        EXPECT_EQ(parsed.rankMasks, built.rankMasks);
+        EXPECT_EQ(parsed.rowMasks, built.rowMasks);
+    }
 }
 
 TEST(AddressFunctions, ParseRejectsGarbage)

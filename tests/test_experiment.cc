@@ -203,6 +203,47 @@ TEST(Fig10Mapping, MultiRankRankXorRunsAndDiffers)
     EXPECT_GT(measured, 0u);
 }
 
+TEST(ExperimentSweep, ChannelShardedSweepThreadCountInvariant)
+{
+    // The RH_THREADS contract survives the channel axis: a 2-channel
+    // channel-xor sweep — whose baseline runs shard per (mix,
+    // system-run) across the pool — is byte-identical for any worker
+    // count.
+    auto channel_config = [](int threads) {
+        ExperimentConfig config = smallConfig(threads);
+        config.mixCount = 1;
+        config.mixIndices = {24};
+        config.system.organization.channels = 2;
+        config.system.addressFunctions =
+            dram::AddressFunctions::preset(
+                "channel-xor", config.system.organization);
+        config.appRegionStride =
+            config.system.organization.systemBytes() /
+            config.system.cores;
+        return config;
+    };
+
+    ExperimentRunner serial(channel_config(1));
+    ExperimentRunner parallel(channel_config(4));
+    const std::vector<double> hc_firsts{2000};
+    const auto a = serial.sweep(hc_firsts);
+    const auto b = parallel.sweep(hc_firsts);
+    EXPECT_EQ(renderSweep(a), renderSweep(b));
+
+    std::size_t measured = 0;
+    for (const auto &p : a)
+        measured += p.normalizedPerformance.count();
+    EXPECT_GT(measured, 0u);
+
+    // The channel axis must actually move the overhead table.
+    ExperimentConfig single = smallConfig(4);
+    single.mixCount = 1;
+    single.mixIndices = {24};
+    ExperimentRunner single_runner(single);
+    EXPECT_NE(renderSweep(single_runner.sweep(hc_firsts)),
+              renderSweep(b));
+}
+
 TEST(AttackSweep, MappedGridThreadCountInvariant)
 {
     // The RH_THREADS contract extends to the mapping axis: believed-

@@ -49,18 +49,22 @@ void
 checkRoundTrip(const AddressMapper &mapper, util::Rng &rng)
 {
     const dram::Organization &org = mapper.organization();
-    const auto capacity = static_cast<std::uint64_t>(org.totalBytes());
+    const auto capacity = static_cast<std::uint64_t>(org.systemBytes());
     for (int i = 0; i < 64; ++i) {
         // Physical -> device -> physical (line-aligned).
         const std::uint64_t addr = rng.uniformInt(0, capacity - 1);
         const dram::Address decoded = mapper.decode(addr);
         ASSERT_TRUE(org.contains(decoded));
+        // The routing fast path agrees with the full decode.
+        ASSERT_EQ(mapper.decodeChannel(addr), decoded.channel);
         ASSERT_EQ(mapper.encode(decoded),
                   addr - addr % static_cast<std::uint64_t>(
                                     org.bytesPerColumn));
 
         // Device -> physical -> device.
         dram::Address device;
+        device.channel = static_cast<int>(rng.uniformInt(
+            0, static_cast<std::uint64_t>(org.channels - 1)));
         device.rank = static_cast<int>(
             rng.uniformInt(0, static_cast<std::uint64_t>(org.ranks - 1)));
         device.bankGroup = static_cast<int>(rng.uniformInt(
@@ -82,10 +86,11 @@ checkRoundTrip(const AddressMapper &mapper, util::Rng &rng)
 TEST(AddressMapper, LinearRoundTripsOverRandomGeometries)
 {
     // The linear layout supports any radix, including non-powers of
-    // two and multi-rank.
+    // two, multi-rank, and multi-channel.
     util::Rng rng(0xA55E7);
     for (int iter = 0; iter < 100; ++iter) {
         dram::Organization org;
+        org.channels = static_cast<int>(rng.uniformInt(1, 3));
         org.ranks = static_cast<int>(rng.uniformInt(1, 4));
         org.bankGroups = static_cast<int>(rng.uniformInt(1, 5));
         org.banksPerGroup = static_cast<int>(rng.uniformInt(1, 5));
@@ -102,19 +107,65 @@ TEST(AddressMapper, XorPresetsRoundTripOverRandomPow2Geometries)
     util::Rng rng(0xB16B00);
     for (int iter = 0; iter < 100; ++iter) {
         dram::Organization org;
+        org.channels = 1 << rng.uniformInt(0, 2);
         org.ranks = 1 << rng.uniformInt(0, 2);
         org.bankGroups = 1 << rng.uniformInt(0, 2);
         org.banksPerGroup = 1 << rng.uniformInt(0, 2);
         org.rows = 1 << rng.uniformInt(6, 12);
         org.columns = 1 << rng.uniformInt(2, 7);
         org.bytesPerColumn = 64;
-        const std::string preset =
-            org.ranks > 1 && rng.bernoulli(0.5) ? "rank-xor"
-                                                : "bank-xor";
+        std::string preset = "bank-xor";
+        if (org.channels > 1 && rng.bernoulli(0.5))
+            preset = "channel-xor";
+        else if (org.ranks > 1 && rng.bernoulli(0.5))
+            preset = "rank-xor";
         AddressMapper mapper(
             org, dram::AddressFunctions::preset(preset, org));
         roundtrip::checkRoundTrip(mapper, rng);
     }
+}
+
+TEST(AddressMapper, ConsecutiveLinesInterleaveAcrossChannels)
+{
+    // Channel bits sit right above the byte offset: consecutive cache
+    // lines alternate controllers (fine-grained channel interleaving),
+    // and the per-channel view of each line is otherwise unchanged.
+    dram::Organization org = dram::table6Organization();
+    org.channels = 2;
+    AddressMapper mapper(org);
+    const dram::Address a = mapper.decode(0);
+    const dram::Address b = mapper.decode(64);
+    const dram::Address c = mapper.decode(128);
+    EXPECT_EQ(a.channel, 0);
+    EXPECT_EQ(b.channel, 1);
+    EXPECT_EQ(c.channel, 0);
+    EXPECT_EQ(a.column, 0);
+    EXPECT_EQ(b.column, 0);
+    EXPECT_EQ(c.column, 1);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+}
+
+TEST(AddressMapper, ChannelXorSpreadsRowConflictsAcrossChannels)
+{
+    // Under channel-xor, the physical stride of one linear row lands
+    // consecutive rows on different controllers: naive row arithmetic
+    // cannot keep a hammer pair on one channel.
+    dram::Organization org = dram::table6Organization();
+    org.channels = 2;
+    AddressMapper linear(org);
+    AddressMapper xorred(
+        org, dram::AddressFunctions::preset("channel-xor", org));
+
+    dram::Address a{.channel = 0, .rank = 0, .bankGroup = 0, .bank = 0,
+                    .row = 100, .column = 0};
+    dram::Address b = a;
+    b.row = 100 + 16; // Flip the row bit the channel select folds in.
+    const std::uint64_t stride = linear.encode(b) - linear.encode(a);
+    const dram::Address xa = xorred.decode(xorred.encode(a));
+    const dram::Address xb = xorred.decode(xorred.encode(a) + stride);
+    EXPECT_EQ(xa, a);
+    EXPECT_NE(xb.channel, xa.channel);
 }
 
 TEST(AddressMapper, CustomSpecRoundTrips)

@@ -197,7 +197,10 @@ TEST(GoldenMapping, DefaultPresetCommandStreamMatchesPrePr)
 {
     // Hard-coded hashes captured from the pre-AddressFunctions build
     // (the fixed linear AddressMapper): the default mapping must stay
-    // byte-for-byte what it was before the subsystem existed.
+    // byte-for-byte what it was before the subsystem existed. This is
+    // also the channels=1 pin for the multi-channel generalization:
+    // the default organization has one channel, so any change to the
+    // single-channel decode or command stream trips these hashes.
     Harness none(true, mitigation::Kind::None, 0.0);
     driveTrace(none, 11, 400, 64);
     EXPECT_EQ(none.commands.size(), 875u);
