@@ -25,6 +25,12 @@
  *   RH_AS_CHANNELS channels the mapping splits the banks across
  *                  (default 1; pair with RH_AS_MAPPING=channel-xor)
  *   RH_THREADS     worker threads (results identical for any value)
+ *   RH_CHECKPOINT  checkpoint directory: completed cells persist
+ *                  across crashes/SIGKILL and a rerun resumes instead
+ *                  of recomputing (default: unset; output is
+ *                  byte-identical either way)
+ *   RH_DEADLINE_MS watchdog: abort the cell batch if it exceeds this
+ *                  many milliseconds (default 0 = no deadline)
  */
 
 #include <algorithm>
@@ -38,8 +44,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Attack patterns vs. mitigation mechanisms "
@@ -53,6 +59,8 @@ main()
     config.seed =
         static_cast<std::uint64_t>(bench::envLong("RH_AS_SEED", 2020));
     config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
+    config.checkpointPath = bench::envString("RH_CHECKPOINT", "");
+    config.batchDeadlineMs = bench::envLong("RH_DEADLINE_MS", 0);
     config.geometry.banks =
         static_cast<int>(bench::envLong("RH_AS_BANKS", 1));
     config.mapping = bench::envString("RH_AS_MAPPING", "linear");
@@ -117,4 +125,10 @@ main()
            "locality at HCfirst=2000) degrade under high-\norder "
            "patterns.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -8,33 +8,55 @@
 #ifndef ROWHAMMER_BENCH_COMMON_HH
 #define ROWHAMMER_BENCH_COMMON_HH
 
-#include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "fault/population.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace rowhammer::bench
 {
 
-/** Integer knob from the environment with a default. */
+/**
+ * Integer knob from the environment with a default. Strict: a
+ * malformed value (RH_THREADS=four) fatal()s at startup instead of
+ * silently parsing as 0 and changing the run shape.
+ */
 inline long
 envLong(const char *name, long fallback)
 {
-    if (const char *value = std::getenv(name))
-        return std::atol(value);
-    return fallback;
+    return util::envLong(name, fallback);
 }
 
 /** String knob from the environment with a default. */
 inline std::string
 envString(const char *name, const std::string &fallback)
 {
-    if (const char *value = std::getenv(name))
-        return value;
-    return fallback;
+    return util::envString(name, fallback);
+}
+
+/**
+ * Top-level harness every bench main() delegates to: runs the bench
+ * body and turns util::FatalError (bad knobs, invalid configs, a fired
+ * TaskPool watchdog) into a clean stderr message and a non-zero exit
+ * instead of std::terminate's abort-with-core.
+ */
+inline int
+guardedMain(int (*run)())
+{
+    try {
+        return run();
+    } catch (const util::FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    } catch (const std::exception &err) {
+        std::cerr << "unhandled exception: " << err.what() << "\n";
+        return 1;
+    }
 }
 
 /** All (type-node, manufacturer) combinations the paper has chips for. */

@@ -20,6 +20,13 @@
  *                   legacy packing)
  *   RH_THREADS      sweep worker threads (default: one per hardware
  *                   thread; results are identical for any value)
+ *   RH_CHECKPOINT   checkpoint directory: completed shards persist
+ *                   across crashes/SIGKILL and a rerun resumes instead
+ *                   of recomputing (default: unset = no checkpointing;
+ *                   output is byte-identical either way)
+ *   RH_DEADLINE_MS  watchdog: abort a sweep batch that exceeds this
+ *                   many milliseconds, dumping in-flight shard indices
+ *                   to stderr (default 0 = no deadline)
  */
 
 #include <iostream>
@@ -32,8 +39,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 10: mitigation mechanism scaling with "
@@ -47,6 +54,8 @@ main()
     config.mixCount =
         static_cast<int>(bench::envLong("RH_F10_MIXES", 2));
     config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
+    config.checkpointPath = bench::envString("RH_CHECKPOINT", "");
+    config.batchDeadlineMs = bench::envLong("RH_DEADLINE_MS", 0);
 
     // Scaled model (see EXPERIMENTS.md): the paper simulates 200M
     // instructions per core against a 2 GB channel, so hot rows
@@ -149,4 +158,10 @@ main()
            "256 (Observation: still significant\nopportunity for "
            "refresh-based mechanisms).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -13,8 +13,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 4: RowHammer bit flip coverage per data "
@@ -71,4 +71,10 @@ main()
                  "coverage\n(Observation 2); the per-config worst "
                  "pattern matches Table 3.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -16,8 +16,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 5: hammer count vs RowHammer bit flip rate");
@@ -69,4 +69,10 @@ main()
                  "(Observation 4);\nnewer nodes sit up and to the left "
                  "of older ones (Observation 5).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -13,8 +13,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 6: distribution of flips by distance from the "
@@ -73,4 +73,10 @@ main()
            "paired-wordline remap (flips at the\npair-mate offset "
            "+/-1 of the victim's shared wordline).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -14,8 +14,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 7: flips per 64-bit word over words with any "
@@ -58,4 +58,10 @@ main()
                  "larger 2-3 flip share\n(on-die ECC hides singles and "
                  "miscorrects doubles, Observation 9).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -15,8 +15,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 8: per-chip HCfirst distributions (x1000 "
@@ -73,4 +73,10 @@ main()
                  "10); DDR3-old chips\nof Mfr B/C never flip below "
                  "150k.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

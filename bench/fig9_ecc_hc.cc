@@ -23,8 +23,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Figure 9: HC to first 64-bit word with 1/2/3 flips "
@@ -101,4 +101,10 @@ main()
                  "multiplier diminishes for DDR4\n(Observations "
                  "12-13).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -14,8 +14,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Table 2: fraction of DDR3 chips vulnerable to "
@@ -67,4 +67,10 @@ main()
                  "chips (old) to a large majority (new); Mfr A chips "
                  "show\nfew flips in both generations.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

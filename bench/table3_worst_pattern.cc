@@ -13,8 +13,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Table 3: worst-case data pattern per configuration "
@@ -67,4 +67,10 @@ main()
                  "rowstripe\nvariants and consistent per (mfr, config), "
                  "matching Table 3.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

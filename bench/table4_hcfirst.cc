@@ -26,8 +26,8 @@ paperValue(fault::TypeNode tn, fault::Manufacturer mfr)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Table 4: lowest HCfirst (x1000 hammers) per "
@@ -79,4 +79,10 @@ main()
                  "have\nlower minimum HCfirst; LPDDR4-1y Mfr A bottoms "
                  "out near 4.8k.\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -14,8 +14,8 @@
 
 using namespace rowhammer;
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
     bench::banner("Table 5: % cells with monotonically increasing flip "
@@ -81,4 +81,10 @@ main()
                  "~50% for\nLPDDR4 (on-die ECC breaks per-cell "
                  "monotonicity).\n";
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

@@ -6,7 +6,9 @@
  * re-derives each group's minimum by fanning the Section 5.5 HCfirst
  * search across sampled chips with the PopulationRunner, validating the
  * catalogue against the fault model (RH_T78_CHIPS chips per group,
- * RH_THREADS workers).
+ * RH_THREADS workers; RH_CHECKPOINT persists finished chips so an
+ * interrupted population run resumes; RH_DEADLINE_MS aborts a batch
+ * that exceeds the deadline).
  */
 
 #include <iostream>
@@ -70,8 +72,8 @@ renderPopulation(const std::vector<fault::ModuleGroup> &groups,
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     util::setVerbose(false);
 
@@ -81,6 +83,8 @@ main()
     runner_options.threads =
         static_cast<int>(bench::envLong("RH_THREADS", 0));
     runner_options.seed = 2020;
+    runner_options.checkpointPath = bench::envString("RH_CHECKPOINT", "");
+    runner_options.batchDeadlineMs = bench::envLong("RH_DEADLINE_MS", 0);
     charlib::PopulationRunner runner(runner_options);
 
     renderPopulation(fault::table8Ddr3Modules(),
@@ -93,4 +97,10 @@ main()
                      "LPDDR4 module population (Table 1; 130 modules)",
                      runner, chips_per_group);
     return 0;
+}
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

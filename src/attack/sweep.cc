@@ -1,6 +1,7 @@
 #include "sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -19,6 +20,8 @@
 #include "mitigation/twice.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/run_store.hh"
+#include "util/serialize.hh"
 #include "util/taskpool.hh"
 
 namespace rowhammer::attack
@@ -26,6 +29,30 @@ namespace rowhammer::attack
 
 namespace
 {
+
+std::string
+encodeCell(const SweepCell &cell)
+{
+    util::ByteWriter w;
+    w.str(cell.pattern);
+    w.str(cell.mechanism);
+    w.i64(cell.activations);
+    w.i64(cell.flips);
+    w.i64(cell.mitigationRefreshes);
+    return w.bytes();
+}
+
+bool
+decodeCell(const std::string &bytes, SweepCell &cell)
+{
+    util::ByteReader r(bytes);
+    cell.pattern = r.str();
+    cell.mechanism = r.str();
+    cell.activations = r.i64();
+    cell.flips = r.i64();
+    cell.mitigationRefreshes = r.i64();
+    return r.done();
+}
 
 using MechFactory =
     std::function<std::unique_ptr<mitigation::Mitigation>(std::uint64_t)>;
@@ -88,6 +115,32 @@ SweepConfig::SweepConfig()
     geometry.banks = 1;
     geometry.rows = 4096;
     geometry.rowDataBits = 16384;
+}
+
+void
+SweepConfig::serialize(util::ByteWriter &w) const
+{
+    spec.serialize(w);
+    geometry.serialize(w);
+    w.f64(hcFirst);
+    w.u64(seed);
+    w.intVec(nSides);
+    w.i64(fuzzCount);
+    w.intVec(samplerSizes);
+    w.i64(activationBudget);
+    w.i64(actsPerRefInterval);
+    w.str(mapping);
+    w.str(attackerMapping);
+    w.i64(mappingRanks);
+    w.i64(mappingChannels);
+}
+
+std::uint64_t
+SweepConfig::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 std::vector<SweepCell>
@@ -190,11 +243,42 @@ runSweep(const SweepConfig &config)
     SessionConfig session;
     session.actsPerRefInterval = config.actsPerRefInterval;
 
+    // Checkpoint store: the grid shape is a pure function of the
+    // hashed config, so the cell index is a stable shard key.
+    std::unique_ptr<util::RunStore> checkpoint;
+    if (!config.checkpointPath.empty()) {
+        checkpoint = std::make_unique<util::RunStore>(
+            util::RunStore::pathInDir(config.checkpointPath,
+                                      config.hash()),
+            config.hash(), config.io);
+        const std::size_t loaded = checkpoint->load();
+        if (loaded > 0) {
+            util::inform("checkpoint: resuming from " +
+                         checkpoint->path() + " (" +
+                         std::to_string(loaded) +
+                         " cells already done)");
+        }
+    }
+
     util::TaskPool pool(config.threads);
+    if (config.batchDeadlineMs > 0) {
+        pool.setBatchDeadline(
+            std::chrono::milliseconds(config.batchDeadlineMs));
+    }
     return pool.map(
         patterns.size() * mechs.size(), [&](std::size_t cell) {
             const std::size_t pi = cell / mechs.size();
             const std::size_t mi = cell % mechs.size();
+
+            if (checkpoint) {
+                if (const std::string *rec = checkpoint->get(cell)) {
+                    SweepCell out;
+                    if (decodeCell(*rec, out))
+                        return out;
+                    util::warn("checkpoint: undecodable sweep cell; "
+                               "recomputing it");
+                }
+            }
 
             // A fully scattered pattern (every believed aggressor
             // landed outside the victim's bank) hammers nothing.
@@ -202,6 +286,8 @@ runSweep(const SweepConfig &config)
                 SweepCell out;
                 out.pattern = patterns[pi].label;
                 out.mechanism = mechs[mi].label;
+                if (checkpoint)
+                    checkpoint->put(cell, encodeCell(out));
                 return out;
             }
 
@@ -223,6 +309,8 @@ runSweep(const SweepConfig &config)
             out.activations = run.activations;
             out.flips = static_cast<std::int64_t>(run.flips.size());
             out.mitigationRefreshes = run.mitigationRefreshes;
+            if (checkpoint)
+                checkpoint->put(cell, encodeCell(out));
             return out;
         });
 }

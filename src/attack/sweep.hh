@@ -27,6 +27,12 @@
 #include "attack/session.hh"
 #include "fault/chipspec.hh"
 
+namespace rowhammer::util
+{
+class ByteWriter;
+class Io;
+} // namespace rowhammer::util
+
 namespace rowhammer::attack
 {
 
@@ -74,8 +80,34 @@ struct SweepConfig
     /** Worker threads (0 = one per hardware thread); results do not
      *  depend on this. */
     int threads = 0;
+    /**
+     * Checkpoint directory (benches: RH_CHECKPOINT); empty disables.
+     * When set, runSweep() persists every completed cell to a
+     * util::RunStore file keyed by hash(); a restarted run loads
+     * completed cells instead of recomputing them, and the resumed
+     * table is byte-identical to an uninterrupted run. Execution-only:
+     * excluded from hash(), like `threads`.
+     */
+    std::string checkpointPath;
+    /** Filesystem seam for the checkpoint store (tests inject faults
+     *  here); null = the real filesystem. Excluded from hash(). */
+    util::Io *io = nullptr;
+    /** Watchdog deadline for the cell batch in milliseconds (benches:
+     *  RH_DEADLINE_MS); 0 disables. Excluded from hash(). */
+    std::int64_t batchDeadlineMs = 0;
 
     SweepConfig();
+
+    /**
+     * Append the bit-stable encoding of the run description (every
+     * field that affects the table; execution-only knobs excluded).
+     * See util/serialize.hh for the stability contract.
+     */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes: the checkpoint
+     *  store identity of this run description. */
+    std::uint64_t hash() const;
 };
 
 /** One (pattern, mechanism) grid cell. */

@@ -4,9 +4,21 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::charlib
 {
+
+void
+HcFirstOptions::serialize(util::ByteWriter &w) const
+{
+    w.i64(sampleRows);
+    w.i64(hcMin);
+    w.i64(hcMax);
+    w.i64(resolution);
+    w.i64(bank);
+    w.i64(flipsPerWord);
+}
 
 namespace
 {

@@ -15,6 +15,11 @@
 #include "fault/chip_model.hh"
 #include "util/rng.hh"
 
+namespace rowhammer::util
+{
+class ByteWriter;
+} // namespace rowhammer::util
+
 namespace rowhammer::charlib
 {
 
@@ -32,6 +37,10 @@ struct HcFirstOptions
     int bank = 0;
     /** Flips-per-64-bit-word threshold (1 = plain HCfirst). */
     int flipsPerWord = 1;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh). */
+    void serialize(util::ByteWriter &w) const;
 };
 
 /**

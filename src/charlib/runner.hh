@@ -24,10 +24,13 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "charlib/analyses.hh"
 #include "charlib/hcfirst.hh"
 #include "fault/population.hh"
 #include "util/rng.hh"
+#include "util/run_store.hh"
 #include "util/taskpool.hh"
 
 namespace rowhammer::charlib
@@ -47,6 +50,22 @@ struct RunnerOptions
     int threads = 0;
     /** Base seed every per-chip stream derives from. */
     std::uint64_t seed = 2020;
+    /**
+     * Checkpoint directory (benches: RH_CHECKPOINT); empty disables.
+     * When set, measureHcFirst() persists each chip's finished search
+     * to a util::RunStore file keyed by (seed, search options,
+     * geometry), with per-chip records keyed by the chip's content
+     * hash — so a restarted population run recomputes only the chips
+     * it had not finished, and the result is identical to an
+     * uninterrupted run even if the population is reordered or subset.
+     */
+    std::string checkpointPath;
+    /** Filesystem seam for the checkpoint store (tests inject faults
+     *  here); null = the real filesystem. */
+    util::Io *io = nullptr;
+    /** Watchdog deadline per pool batch in milliseconds; 0 disables
+     *  (see util::TaskPool::setBatchDeadline). */
+    std::int64_t batchDeadlineMs = 0;
 };
 
 /**

@@ -1,14 +1,93 @@
 #include "experiment.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::core
 {
 
 namespace
 {
+
+/**
+ * Checkpoint record keys: FNV-1a over a tagged encoding of the shard
+ * identity, so a key names the same unit of work regardless of grid
+ * shape (sweep() may be called with different HCfirst lists against
+ * the same store file).
+ */
+std::uint64_t
+baselineShardKey(int mix, std::size_t unit)
+{
+    util::ByteWriter w;
+    w.str("baseline");
+    w.i64(mix);
+    w.u64(unit);
+    return util::fnv1a64(w.bytes());
+}
+
+std::uint64_t
+sweepCellKey(mitigation::Kind kind, double hc, int mix)
+{
+    util::ByteWriter w;
+    w.str("cell");
+    w.i64(static_cast<int>(kind));
+    w.f64(hc);
+    w.i64(mix);
+    return util::fnv1a64(w.bytes());
+}
+
+std::string
+encodeOutcome(const std::optional<MixOutcome> &outcome)
+{
+    util::ByteWriter w;
+    w.u8(outcome ? 1 : 0);
+    if (outcome) {
+        w.f64(outcome->weightedSpeedup);
+        w.f64(outcome->normalizedPerformance);
+        w.f64(outcome->bandwidthOverheadPercent);
+        w.f64(outcome->mpki);
+    }
+    return w.bytes();
+}
+
+bool
+decodeOutcome(const std::string &bytes,
+              std::optional<MixOutcome> &outcome)
+{
+    util::ByteReader r(bytes);
+    if (r.u8() == 0) {
+        outcome = std::nullopt;
+        return r.done();
+    }
+    MixOutcome out;
+    out.weightedSpeedup = r.f64();
+    out.normalizedPerformance = r.f64();
+    out.bandwidthOverheadPercent = r.f64();
+    out.mpki = r.f64();
+    if (!r.done())
+        return false;
+    outcome = out;
+    return true;
+}
+
+std::string
+encodeIpcs(const std::vector<double> &ipcs)
+{
+    util::ByteWriter w;
+    w.f64Vec(ipcs);
+    return w.bytes();
+}
+
+bool
+decodeIpcs(const std::string &bytes, std::vector<double> &ipcs)
+{
+    util::ByteReader r(bytes);
+    ipcs = r.f64Vec();
+    return r.done();
+}
 
 /**
  * The one weighted-speedup definition: sum of per-core shared/alone
@@ -30,6 +109,27 @@ weightedSpeedupFromIpcs(const std::vector<double> &shared,
 
 } // namespace
 
+void
+ExperimentConfig::serialize(util::ByteWriter &w) const
+{
+    system.serialize(w);
+    w.i64(instructionsPerCore);
+    w.i64(warmupInstructions);
+    w.i64(mixCount);
+    w.intVec(mixIndices);
+    w.i64(coldBytesPerApp);
+    w.i64(appRegionStride);
+    w.u64(seed);
+}
+
+std::uint64_t
+ExperimentConfig::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
+}
+
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config),
       mixes_(workload::mixCatalogue(config.system.cores,
@@ -45,9 +145,37 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
 util::TaskPool &
 ExperimentRunner::pool()
 {
-    if (!pool_)
+    if (!pool_) {
         pool_ = std::make_unique<util::TaskPool>(config_.threads);
+        if (config_.batchDeadlineMs > 0) {
+            pool_->setBatchDeadline(
+                std::chrono::milliseconds(config_.batchDeadlineMs));
+        }
+    }
     return *pool_;
+}
+
+util::RunStore *
+ExperimentRunner::store()
+{
+    if (config_.checkpointPath.empty())
+        return nullptr;
+    if (!store_) {
+        store_ = std::make_unique<util::RunStore>(
+            util::RunStore::pathInDir(config_.checkpointPath,
+                                      config_.hash()),
+            config_.hash(), config_.io);
+    }
+    if (!storeLoaded_) {
+        storeLoaded_ = true;
+        const std::size_t loaded = store_->load();
+        if (loaded > 0) {
+            util::inform("checkpoint: resuming from " + store_->path() +
+                         " (" + std::to_string(loaded) +
+                         " shards already done)");
+        }
+    }
+    return store_.get();
 }
 
 double
@@ -149,14 +277,31 @@ ExperimentRunner::prepare(const std::vector<int> &mix_indices)
     // byte-identical to the serial computeBaseline() path.
     const auto cores = static_cast<std::size_t>(config_.system.cores);
     const std::size_t per_mix = cores + 1;
+    util::RunStore *checkpoint = store();
     auto runs = pool().map(
         missing.size() * per_mix, [&](std::size_t i) {
             const int mix = missing[i / per_mix];
             const std::size_t unit = i % per_mix;
-            if (unit < cores)
-                return std::vector<double>{
-                    soloIpc(mix, static_cast<int>(unit))};
-            return sharedBaselineIpcs(mix);
+            const std::size_t expected = unit < cores ? 1 : cores;
+            const std::uint64_t key = baselineShardKey(mix, unit);
+            if (checkpoint) {
+                if (const std::string *rec = checkpoint->get(key)) {
+                    std::vector<double> ipcs;
+                    if (decodeIpcs(*rec, ipcs) &&
+                        ipcs.size() == expected) {
+                        return ipcs;
+                    }
+                    util::warn("checkpoint: undecodable baseline "
+                               "record; recomputing the shard");
+                }
+            }
+            std::vector<double> ipcs = unit < cores
+                ? std::vector<double>{soloIpc(mix,
+                                              static_cast<int>(unit))}
+                : sharedBaselineIpcs(mix);
+            if (checkpoint)
+                checkpoint->put(key, encodeIpcs(ipcs));
+            return ipcs;
         });
     for (std::size_t m = 0; m < missing.size(); ++m) {
         std::vector<double> alone;
@@ -251,10 +396,25 @@ ExperimentRunner::sweep(const std::vector<double> &hc_firsts)
         }
     }
 
+    util::RunStore *checkpoint = store();
     const auto outcomes = pool().map(
         cells.size(), [&](std::size_t i) {
             const Cell &cell = cells[i];
-            return runMix(cell.mix, cell.kind, cell.hc);
+            const std::uint64_t key =
+                sweepCellKey(cell.kind, cell.hc, cell.mix);
+            if (checkpoint) {
+                if (const std::string *rec = checkpoint->get(key)) {
+                    std::optional<MixOutcome> outcome;
+                    if (decodeOutcome(*rec, outcome))
+                        return outcome;
+                    util::warn("checkpoint: undecodable sweep-cell "
+                               "record; recomputing the shard");
+                }
+            }
+            auto outcome = runMix(cell.mix, cell.kind, cell.hc);
+            if (checkpoint)
+                checkpoint->put(key, encodeOutcome(outcome));
+            return outcome;
         });
 
     for (std::size_t i = 0; i < cells.size(); ++i) {

@@ -21,8 +21,15 @@
 
 #include "core/system.hh"
 #include "mitigation/factory.hh"
+#include "util/run_store.hh"
 #include "util/stats.hh"
 #include "util/taskpool.hh"
+
+namespace rowhammer::util
+{
+class ByteWriter;
+class Io;
+} // namespace rowhammer::util
 
 namespace rowhammer::core
 {
@@ -72,6 +79,39 @@ struct ExperimentConfig
     /** Worker threads for sweep()/prepare(); 0 = one per hardware
      *  thread. Results do not depend on this. */
     int threads = 0;
+    /**
+     * Checkpoint directory (benches: RH_CHECKPOINT); empty disables.
+     * When set, prepare() and sweep() persist every completed shard to
+     * a util::RunStore file keyed by hash(), and a restarted run loads
+     * completed shards instead of recomputing them. Resumed output is
+     * byte-identical to an uninterrupted run (shard values are stored
+     * bit-exactly and aggregation order is fixed), so this knob — like
+     * `threads` — is excluded from hash().
+     */
+    std::string checkpointPath;
+    /** Filesystem seam for the checkpoint store (tests inject faults
+     *  here); null = the real filesystem. Excluded from hash(). */
+    util::Io *io = nullptr;
+    /**
+     * Watchdog deadline per pool batch in milliseconds (benches:
+     * RH_DEADLINE_MS); 0 disables. A batch that outlives it dumps its
+     * in-flight shard indices to stderr and aborts (see
+     * util::TaskPool::setBatchDeadline). Execution-only: excluded from
+     * hash().
+     */
+    std::int64_t batchDeadlineMs = 0;
+
+    /**
+     * Append the bit-stable encoding of the run description (every
+     * field that affects results; execution-only knobs — threads,
+     * checkpointPath, io, batchDeadlineMs — are excluded). See
+     * util/serialize.hh for the stability contract.
+     */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes: the checkpoint
+     *  store identity of this run description. */
+    std::uint64_t hash() const;
 };
 
 /**
@@ -116,6 +156,14 @@ class ExperimentRunner
      *  own cells (created on first use). */
     util::TaskPool &pool();
 
+    /**
+     * The checkpoint store backing prepare()/sweep(), or nullptr when
+     * config.checkpointPath is empty. Created (and its file loaded)
+     * on first use; the file lives at
+     * RunStore::pathInDir(checkpointPath, config.hash()).
+     */
+    util::RunStore *store();
+
   private:
     /** Cached per-mix baseline measurements. */
     struct MixBaseline
@@ -150,6 +198,8 @@ class ExperimentRunner
     std::vector<workload::Mix> mixes_;
     std::map<int, MixBaseline> baselineCache_;
     std::unique_ptr<util::TaskPool> pool_;
+    std::unique_ptr<util::RunStore> store_;
+    bool storeLoaded_ = false;
 };
 
 } // namespace rowhammer::core

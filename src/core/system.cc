@@ -3,9 +3,35 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::core
 {
+
+void
+SystemConfig::serialize(util::ByteWriter &w) const
+{
+    w.i64(cores);
+    w.f64(cpuGhz);
+    w.i64(issueWidth);
+    w.i64(windowSize);
+    w.i64(llcBytes);
+    w.i64(llcWays);
+    w.i64(lineBytes);
+    w.i64(llcHitLatencyCpu);
+    w.i64(mshrPerCore);
+    organization.serialize(w);
+    timing.serialize(w);
+    addressFunctions.serialize(w);
+}
+
+std::uint64_t
+SystemConfig::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
+}
 
 double
 SystemResult::mpki() const

@@ -47,6 +47,13 @@ struct SystemConfig
     dram::TimingSpec timing = dram::ddr4_2400();
     /** Physical-address translation (default: the linear layout). */
     dram::AddressFunctions addressFunctions;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh for the stability contract). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /** Results of one system run. */

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::dram
 {
@@ -364,6 +365,27 @@ AddressFunctions::valid(const Organization &org, std::string *why) const
                          "output bits alias the same physical bits)");
     }
     return true;
+}
+
+void
+AddressFunctions::serialize(util::ByteWriter &w) const
+{
+    w.i64(static_cast<int>(scheme));
+    w.str(name);
+    w.maskVec(channelMasks);
+    w.maskVec(columnMasks);
+    w.maskVec(bankGroupMasks);
+    w.maskVec(bankMasks);
+    w.maskVec(rankMasks);
+    w.maskVec(rowMasks);
+}
+
+std::uint64_t
+AddressFunctions::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 CompiledAddressMatrix

@@ -32,6 +32,11 @@
 
 #include "dram/organization.hh"
 
+namespace rowhammer::util
+{
+class ByteWriter;
+} // namespace rowhammer::util
+
 namespace rowhammer::dram
 {
 
@@ -113,6 +118,13 @@ struct AddressFunctions
      * Appends the first violation to `why` when given.
      */
     bool valid(const Organization &org, std::string *why = nullptr) const;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh for the stability contract). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /**

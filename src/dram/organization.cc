@@ -1,6 +1,7 @@
 #include "organization.hh"
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::dram
 {
@@ -13,6 +14,26 @@ Organization::check() const
         bytesPerColumn <= 0) {
         util::fatal("Organization: all dimensions must be positive");
     }
+}
+
+void
+Organization::serialize(util::ByteWriter &w) const
+{
+    w.i64(channels);
+    w.i64(ranks);
+    w.i64(bankGroups);
+    w.i64(banksPerGroup);
+    w.i64(rows);
+    w.i64(columns);
+    w.i64(bytesPerColumn);
+}
+
+std::uint64_t
+Organization::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 Organization

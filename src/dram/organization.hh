@@ -12,6 +12,11 @@
 
 #include "dram/types.hh"
 
+namespace rowhammer::util
+{
+class ByteWriter;
+} // namespace rowhammer::util
+
 namespace rowhammer::dram
 {
 
@@ -129,6 +134,13 @@ struct Organization
 
     /** Validate; fatal() on nonsensical geometry. */
     void check() const;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh for the stability contract). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /** The Table 6 system configuration geometry. */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::dram
 {
@@ -34,6 +35,40 @@ TimingSpec::check() const
         util::fatal("TimingSpec: refresh parameters must be positive");
     if (tRFC >= tREFI)
         util::fatal("TimingSpec: tRFC must be shorter than tREFI");
+}
+
+void
+TimingSpec::serialize(util::ByteWriter &w) const
+{
+    w.i64(static_cast<int>(standard));
+    w.f64(tCKns);
+    w.i64(tRCD);
+    w.i64(tRP);
+    w.i64(tRAS);
+    w.i64(tRC);
+    w.i64(tCL);
+    w.i64(tCWL);
+    w.i64(tBL);
+    w.i64(tRTP);
+    w.i64(tWR);
+    w.i64(tCCDS);
+    w.i64(tCCDL);
+    w.i64(tRRDS);
+    w.i64(tRRDL);
+    w.i64(tFAW);
+    w.i64(tWTRS);
+    w.i64(tWTRL);
+    w.i64(tRFC);
+    w.i64(tREFI);
+    w.f64(tREFWms);
+}
+
+std::uint64_t
+TimingSpec::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 TimingSpec

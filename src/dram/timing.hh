@@ -13,7 +13,14 @@
 #ifndef ROWHAMMER_DRAM_TIMING_HH
 #define ROWHAMMER_DRAM_TIMING_HH
 
+#include <cstdint>
+
 #include "dram/types.hh"
+
+namespace rowhammer::util
+{
+class ByteWriter;
+} // namespace rowhammer::util
 
 namespace rowhammer::dram
 {
@@ -80,6 +87,13 @@ struct TimingSpec
 
     /** Validate internal consistency; panics on contradiction. */
     void check() const;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh for the stability contract). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /** DDR3-1600K preset (JEDEC JESD79-3; tRC = 48.75 ns). */

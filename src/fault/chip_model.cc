@@ -5,9 +5,26 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::fault
 {
+
+void
+ChipGeometry::serialize(util::ByteWriter &w) const
+{
+    w.i64(banks);
+    w.i64(rows);
+    w.i64(rowDataBits);
+}
+
+std::uint64_t
+ChipGeometry::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
+}
 
 namespace
 {

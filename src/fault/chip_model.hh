@@ -79,6 +79,13 @@ struct ChipGeometry
     int banks = 8;
     int rows = 16384;
     long rowDataBits = 65536; ///< 8 KB row.
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /**

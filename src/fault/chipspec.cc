@@ -1,6 +1,7 @@
 #include "chipspec.hh"
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::fault
 {
@@ -190,6 +191,37 @@ configFor(TypeNode tn, Manufacturer mfr)
         util::panic("configFor: unknown TypeNode");
     }
     return s;
+}
+
+void
+ChipSpec::serialize(util::ByteWriter &w) const
+{
+    w.i64(static_cast<int>(manufacturer));
+    w.i64(static_cast<int>(typeNode));
+    w.f64(minHcFirst);
+    w.f64(hcFirstSpread);
+    w.f64(rowHammerableFraction);
+    w.f64(weakDensityAt150k);
+    w.f64(distance3Coupling);
+    w.f64(distance5Coupling);
+    w.i64(maxCouplingDistance);
+    w.i64(static_cast<int>(worstPattern));
+    w.u8(onDieEcc ? 1 : 0);
+    w.f64(meanClusterSize);
+    w.f64(clusterThresholdSpread);
+    w.f64(eccMultiplier12);
+    w.f64(eccMultiplier23);
+    w.i64(static_cast<int>(rowRemap));
+    w.f64(trueCellFraction);
+    w.f64(thresholdWidth);
+}
+
+std::uint64_t
+ChipSpec::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 } // namespace rowhammer::fault

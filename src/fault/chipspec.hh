@@ -16,6 +16,11 @@
 #include "dram/types.hh"
 #include "fault/datapattern.hh"
 
+namespace rowhammer::util
+{
+class ByteWriter;
+} // namespace rowhammer::util
+
 namespace rowhammer::fault
 {
 
@@ -162,6 +167,13 @@ struct ChipSpec
 
     /** "Mfr. X TYPE-node" label used in tables. */
     std::string label() const;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh for the stability contract). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. */
+    std::uint64_t hash() const;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace rowhammer::fault
 {
@@ -173,6 +174,25 @@ ChipModel
 ChipInstance::makeModel(ChipGeometry geometry) const
 {
     return ChipModel(spec, hcFirst, seed, geometry);
+}
+
+void
+ChipInstance::serialize(util::ByteWriter &w) const
+{
+    spec.serialize(w);
+    w.str(moduleId);
+    w.i64(chipIndex);
+    w.f64(hcFirst);
+    w.u8(rowHammerable ? 1 : 0);
+    w.u64(seed);
+}
+
+std::uint64_t
+ChipInstance::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
 }
 
 std::vector<ChipInstance>

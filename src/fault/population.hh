@@ -50,6 +50,15 @@ struct ChipInstance
 
     /** Materialize the fault model for this chip. */
     ChipModel makeModel(ChipGeometry geometry = ChipGeometry{}) const;
+
+    /** Append the bit-stable encoding of every field (run-description
+     *  schema; see util/serialize.hh). */
+    void serialize(util::ByteWriter &w) const;
+
+    /** FNV-1a content hash of serialize()'s bytes. Stable under
+     *  population reordering or subsetting, which is what lets a
+     *  checkpointed measurement survive a changed chip sample. */
+    std::uint64_t hash() const;
 };
 
 /** The full Table 7 (110 DDR4 modules). */

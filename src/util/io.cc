@@ -1,0 +1,201 @@
+#include "io.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rowhammer::util
+{
+
+namespace
+{
+
+class PosixIo : public Io
+{
+  public:
+    int
+    openForWrite(const std::string &path) override
+    {
+        return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    }
+
+    long
+    write(int fd, const void *buf, std::size_t count) override
+    {
+        return static_cast<long>(::write(fd, buf, count));
+    }
+
+    bool fsyncFd(int fd) override { return ::fsync(fd) == 0; }
+
+    bool closeFd(int fd) override { return ::close(fd) == 0; }
+
+    bool
+    renameFile(const std::string &from, const std::string &to) override
+    {
+        return ::rename(from.c_str(), to.c_str()) == 0;
+    }
+
+    bool
+    readFile(const std::string &path, std::string &out) override
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        out = buf.str();
+        return !in.bad();
+    }
+
+    bool
+    makeDirs(const std::string &path) override
+    {
+        if (path.empty())
+            return false;
+        std::string partial;
+        std::size_t pos = 0;
+        while (pos <= path.size()) {
+            const std::size_t slash = path.find('/', pos);
+            partial = slash == std::string::npos
+                ? path
+                : path.substr(0, slash);
+            pos = slash == std::string::npos ? path.size() + 1
+                                             : slash + 1;
+            if (partial.empty())
+                continue; // Leading '/'.
+            if (::mkdir(partial.c_str(), 0755) != 0) {
+                struct stat st;
+                if (::stat(partial.c_str(), &st) != 0 ||
+                    !S_ISDIR(st.st_mode))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    removeFile(const std::string &path) override
+    {
+        return ::unlink(path.c_str()) == 0;
+    }
+};
+
+} // namespace
+
+Io &
+Io::system()
+{
+    static PosixIo io;
+    return io;
+}
+
+bool
+atomicWriteFile(Io &io, const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = io.openForWrite(tmp);
+    if (fd < 0)
+        return false;
+
+    // Loop over short writes; any error abandons the temp file, which
+    // leaves the real file untouched.
+    std::size_t written = 0;
+    bool ok = true;
+    while (written < data.size()) {
+        const long n = io.write(fd, data.data() + written,
+                                data.size() - written);
+        if (n <= 0) {
+            ok = false;
+            break;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (ok)
+        ok = io.fsyncFd(fd);
+    if (!io.closeFd(fd))
+        ok = false;
+    if (ok)
+        ok = io.renameFile(tmp, path);
+    if (!ok)
+        io.removeFile(tmp);
+    return ok;
+}
+
+int
+FaultInjectingIo::openForWrite(const std::string &path)
+{
+    if (failOpen)
+        return -1;
+    return base_.openForWrite(path);
+}
+
+long
+FaultInjectingIo::write(int fd, const void *buf, std::size_t count)
+{
+    ++writeCalls_;
+    if (failAfterBytes >= 0 && bytesWritten_ >= failAfterBytes)
+        return -1; // Disk full.
+    std::size_t capped = count;
+    if (shortWriteLimit >= 0) {
+        capped = std::min(capped,
+                          static_cast<std::size_t>(shortWriteLimit));
+    }
+    if (failAfterBytes >= 0) {
+        capped = std::min(capped, static_cast<std::size_t>(
+                                      failAfterBytes - bytesWritten_));
+        if (capped == 0)
+            return -1;
+    }
+    const long n = base_.write(fd, buf, capped);
+    if (n > 0)
+        bytesWritten_ += n;
+    return n;
+}
+
+bool
+FaultInjectingIo::fsyncFd(int fd)
+{
+    if (failFsync)
+        return false;
+    return base_.fsyncFd(fd);
+}
+
+bool
+FaultInjectingIo::closeFd(int fd)
+{
+    return base_.closeFd(fd);
+}
+
+bool
+FaultInjectingIo::renameFile(const std::string &from,
+                             const std::string &to)
+{
+    if (failRename)
+        return false;
+    return base_.renameFile(from, to);
+}
+
+bool
+FaultInjectingIo::readFile(const std::string &path, std::string &out)
+{
+    return base_.readFile(path, out);
+}
+
+bool
+FaultInjectingIo::makeDirs(const std::string &path)
+{
+    return base_.makeDirs(path);
+}
+
+bool
+FaultInjectingIo::removeFile(const std::string &path)
+{
+    return base_.removeFile(path);
+}
+
+} // namespace rowhammer::util

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Filesystem seam for the crash-safety layer. Everything RunStore does
+ * to disk goes through a util::Io instance, so tests can inject the
+ * failures real campaigns hit — short writes, ENOSPC, fsync failure,
+ * unreadable files — and prove the store degrades to recompute-with-a-
+ * warning instead of crashing or silently corrupting results.
+ *
+ * The production implementation (Io::system()) is plain POSIX. The
+ * write path is atomicWriteFile(): write the full contents to
+ * `<path>.tmp`, fsync, close, rename over `<path>` — rename(2) is
+ * atomic on POSIX, so a reader (or a resumed run after SIGKILL) sees
+ * either the old complete file or the new complete file, never a torn
+ * one.
+ */
+
+#ifndef ROWHAMMER_UTIL_IO_HH
+#define ROWHAMMER_UTIL_IO_HH
+
+#include <cstddef>
+#include <string>
+
+namespace rowhammer::util
+{
+
+/**
+ * Abstract filesystem primitives. Write-side calls mirror POSIX
+ * semantics: write() may be short (the caller loops), and any call may
+ * fail. Implementations must be safe to call from multiple threads.
+ */
+class Io
+{
+  public:
+    virtual ~Io() = default;
+
+    /** Open (create/truncate) a file for writing; -1 on failure. */
+    virtual int openForWrite(const std::string &path) = 0;
+
+    /** write(2): bytes written (possibly short), or -1 on failure. */
+    virtual long write(int fd, const void *buf, std::size_t count) = 0;
+
+    /** fsync(2); false on failure. */
+    virtual bool fsyncFd(int fd) = 0;
+
+    /** close(2); false on failure. */
+    virtual bool closeFd(int fd) = 0;
+
+    /** rename(2); false on failure. */
+    virtual bool renameFile(const std::string &from,
+                            const std::string &to) = 0;
+
+    /** Read a whole file; false if missing or unreadable. */
+    virtual bool readFile(const std::string &path, std::string &out) = 0;
+
+    /** mkdir -p; false if a component cannot be created. */
+    virtual bool makeDirs(const std::string &path) = 0;
+
+    /** unlink(2); false on failure (missing file is failure too). */
+    virtual bool removeFile(const std::string &path) = 0;
+
+    /** The process-wide POSIX implementation. */
+    static Io &system();
+};
+
+/**
+ * Atomically replace `path` with `data` via write-temp-then-rename
+ * (see file comment). Returns false — after removing the temp file —
+ * if any primitive fails; `path` is untouched in that case.
+ */
+bool atomicWriteFile(Io &io, const std::string &path,
+                     const std::string &data);
+
+/**
+ * Test double wrapping another Io with an injectable fault plan.
+ * Faults target the write path; reads pass through unchanged.
+ */
+class FaultInjectingIo : public Io
+{
+  public:
+    explicit FaultInjectingIo(Io &base) : base_(base) {}
+
+    /** Cap per-write() byte counts (forces callers to loop). */
+    int shortWriteLimit = -1;
+    /** Fail writes (ENOSPC-style) after this many bytes total. */
+    long failAfterBytes = -1;
+    bool failFsync = false;
+    bool failRename = false;
+    bool failOpen = false;
+
+    long bytesWritten() const { return bytesWritten_; }
+    int writeCalls() const { return writeCalls_; }
+
+    int openForWrite(const std::string &path) override;
+    long write(int fd, const void *buf, std::size_t count) override;
+    bool fsyncFd(int fd) override;
+    bool closeFd(int fd) override;
+    bool renameFile(const std::string &from,
+                    const std::string &to) override;
+    bool readFile(const std::string &path, std::string &out) override;
+    bool makeDirs(const std::string &path) override;
+    bool removeFile(const std::string &path) override;
+
+  private:
+    Io &base_;
+    long bytesWritten_ = 0;
+    int writeCalls_ = 0;
+};
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_IO_HH

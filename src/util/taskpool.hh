@@ -16,10 +16,12 @@
 #define ROWHAMMER_UTIL_TASKPOOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -56,6 +58,27 @@ class TaskPool
                  const std::function<void(std::size_t)> &job);
 
     /**
+     * Watchdog: a per-batch wall-clock deadline (zero disables, the
+     * default). When a batch outlives it, the pool dumps the in-flight
+     * shard indices to stderr — a hung shard becomes a diagnosable
+     * error instead of a silent forever-stall — cancels the not-yet-
+     * claimed remainder of the batch, and forEach() throws FatalError
+     * through the existing exception path once the in-flight jobs
+     * return. Long-running jobs may poll batchCancelled() to bail out
+     * early; a job that never returns still gets its index dumped at
+     * the deadline, but cannot be forcibly killed. With a deadline
+     * armed the dispatching thread watches instead of draining, so
+     * batches run on the worker threads alone.
+     */
+    void setBatchDeadline(std::chrono::milliseconds deadline);
+
+    /** True once the current batch's watchdog has fired. */
+    bool batchCancelled() const
+    {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * results[i] = fn(i) for every i in [0, count). fn must be safe to
      * call concurrently for distinct i.
      */
@@ -75,10 +98,12 @@ class TaskPool
 
   private:
     /** Worker main loop: wait for a batch, drain it, repeat. */
-    void workerLoop();
+    void workerLoop(int slot);
 
-    /** Pull indices off the current batch until it is exhausted. */
-    void drain(const std::function<void(std::size_t)> &job);
+    /** Pull indices off the current batch until it is exhausted.
+     *  `slot` identifies this thread's in-flight bookkeeping entry
+     *  (workers use [0, threads_), the dispatching caller threads_). */
+    void drain(const std::function<void(std::size_t)> &job, int slot);
 
     int threads_ = 1;
 
@@ -93,6 +118,12 @@ class TaskPool
     bool stop_ = false;
     std::exception_ptr firstError_;
     std::atomic<std::size_t> next_{0};
+
+    // Watchdog state: the per-batch deadline, the cooperative cancel
+    // flag, and one in-flight index slot per drainer (-1 = idle).
+    std::chrono::milliseconds deadline_{0};
+    std::atomic<bool> cancel_{false};
+    std::unique_ptr<std::atomic<std::int64_t>[]> inFlight_;
 };
 
 } // namespace rowhammer::util

@@ -436,6 +436,94 @@ TEST(AddressFunctions, ParseRejectsGarbage)
     }
 }
 
+TEST(AddressFunctions, ParseErrorsNameTheProblem)
+{
+    const Organization org = table6Organization();
+    const auto message_of = [&](const std::string &text) {
+        std::istringstream in(text);
+        try {
+            AddressFunctions::parse(in, org, "spec.txt");
+        } catch (const FatalError &err) {
+            return std::string(err.what());
+        }
+        return std::string("(no error)");
+    };
+
+    // Malformed line: missing mask operand, with the line number.
+    {
+        const std::string what = message_of("bank");
+        EXPECT_NE(what.find("expected '<level> <mask>'"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    }
+    // Unparsable mask value, echoed back.
+    {
+        const std::string what = message_of("bank 0xZZ");
+        EXPECT_NE(what.find("bad mask '0xZZ'"), std::string::npos)
+            << what;
+    }
+    // Unknown level, with the accepted level names listed.
+    {
+        const std::string what = message_of("chipselect 0x40");
+        EXPECT_NE(what.find("unknown level 'chipselect'"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("bankgroup"), std::string::npos) << what;
+    }
+    // Wrong mask count for the geometry: names the level and both the
+    // found and required counts (column is validated first).
+    {
+        const std::string what = message_of("bank 0x100");
+        EXPECT_NE(what.find("column has 0 masks"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("geometry needs 7"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(AddressFunctions, ValidationErrorsNameTheProblem)
+{
+    const Organization org = table6Organization();
+
+    // A mask reaching into the in-column byte-offset bits.
+    {
+        AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+        fns.rowMasks[0] |= 0x2;
+        std::string why;
+        EXPECT_FALSE(fns.valid(org, &why));
+        EXPECT_NE(why.find("byte-offset bits"), std::string::npos)
+            << why;
+    }
+    // A mask beyond the channel's address bits.
+    {
+        AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+        fns.rowMasks[0] |= 1ull << 62;
+        std::string why;
+        EXPECT_FALSE(fns.valid(org, &why));
+        EXPECT_NE(why.find("exceeds the geometry's address bits"),
+                  std::string::npos)
+            << why;
+    }
+    // An all-zero (empty) mask.
+    {
+        AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+        fns.columnMasks[3] = 0;
+        std::string why;
+        EXPECT_FALSE(fns.valid(org, &why));
+        EXPECT_NE(why.find("empty mask"), std::string::npos) << why;
+    }
+    // A singular stacked matrix, surfaced through parse() as a
+    // FatalError naming the spec.
+    {
+        AddressFunctions fns = AddressFunctions::preset("bank-xor", org);
+        fns.bankMasks[1] = fns.bankMasks[0];
+        std::string why;
+        EXPECT_FALSE(fns.valid(org, &why));
+        EXPECT_NE(why.find("singular"), std::string::npos) << why;
+    }
+}
+
 TEST(AddressFunctions, SingularSpecRejected)
 {
     const Organization org = table6Organization();

@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "attack/sweep.hh"
 #include "core/experiment.hh"
 #include "dram/address_functions.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
+#include "util/run_store.hh"
 
 namespace
 {
@@ -22,6 +26,29 @@ using namespace rowhammer;
 using core::ExperimentConfig;
 using core::ExperimentRunner;
 using core::SweepPoint;
+
+/** Unique scratch directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char templ[] = "/tmp/rh_experiment_XXXXXX";
+        path_ = mkdtemp(templ);
+        EXPECT_FALSE(path_.empty());
+    }
+
+    ~TempDir()
+    {
+        const std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
 
 ExperimentConfig
 smallConfig(int threads)
@@ -300,6 +327,180 @@ TEST(ExperimentSweep, ConcurrentRunMixMatchesSerial)
                   parallel_out[k]->bandwidthOverheadPercent);
         EXPECT_EQ(serial_out[k]->mpki, parallel_out[k]->mpki);
     }
+}
+
+TEST(Checkpoint, ResumedSweepIsByteIdentical)
+{
+    const std::vector<double> hc_firsts{4800, 512};
+
+    ExperimentRunner plain(smallConfig(2));
+    const std::string reference = renderSweep(plain.sweep(hc_firsts));
+
+    TempDir dir;
+    auto config = smallConfig(2);
+    config.checkpointPath = dir.path();
+
+    // First checkpointed run populates the store...
+    {
+        ExperimentRunner runner(config);
+        EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+        ASSERT_NE(runner.store(), nullptr);
+        EXPECT_GT(runner.store()->size(), 0u);
+        EXPECT_TRUE(runner.store()->persistent());
+    }
+
+    // ...and the store file lands where the config hash says.
+    const std::string store_path =
+        util::RunStore::pathInDir(dir.path(), config.hash());
+    std::string bytes;
+    ASSERT_TRUE(util::Io::system().readFile(store_path, bytes));
+
+    // A second runner resumes every shard from disk and renders the
+    // same bytes without recomputing anything.
+    ExperimentRunner resumed(config);
+    EXPECT_EQ(renderSweep(resumed.sweep(hc_firsts)), reference);
+    ASSERT_NE(resumed.store(), nullptr);
+    const std::size_t total = resumed.store()->size();
+    EXPECT_GT(total, 0u);
+
+    // A subset of the hcFirst list resumes from the same store: shard
+    // keys are content-tagged, not positional.
+    ExperimentRunner subset(config);
+    const std::string partial =
+        renderSweep(subset.sweep(std::vector<double>{512}));
+    EXPECT_NE(partial, "");
+    EXPECT_NE(reference.find(partial.substr(0, partial.find('\n'))),
+              std::string::npos);
+}
+
+TEST(Checkpoint, CorruptedStoreRecomputesWithSameOutput)
+{
+    const std::vector<double> hc_firsts{4800};
+
+    ExperimentRunner plain(smallConfig(2));
+    const std::string reference = renderSweep(plain.sweep(hc_firsts));
+
+    TempDir dir;
+    auto config = smallConfig(2);
+    config.checkpointPath = dir.path();
+    {
+        ExperimentRunner runner(config);
+        EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+    }
+
+    const std::string store_path =
+        util::RunStore::pathInDir(dir.path(), config.hash());
+    std::string bytes;
+    ASSERT_TRUE(util::Io::system().readFile(store_path, bytes));
+
+    // Truncate the store mid-file: the valid prefix resumes, the torn
+    // tail recomputes, and the table is still byte-identical.
+    ASSERT_TRUE(atomicWriteFile(util::Io::system(), store_path,
+                                bytes.substr(0, bytes.size() / 2)));
+    {
+        ExperimentRunner runner(config);
+        EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+    }
+
+    // Flip a bit in the middle of the full file: CRC framing rejects
+    // the damaged record and the cell recomputes.
+    std::string damaged = bytes;
+    damaged[damaged.size() / 2] ^= 0x10;
+    ASSERT_TRUE(
+        atomicWriteFile(util::Io::system(), store_path, damaged));
+    {
+        ExperimentRunner runner(config);
+        EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+    }
+
+    // Replace it with garbage that is not a checkpoint at all.
+    ASSERT_TRUE(atomicWriteFile(util::Io::system(), store_path,
+                                "not a checkpoint"));
+    {
+        ExperimentRunner runner(config);
+        EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+    }
+}
+
+TEST(Checkpoint, PersistenceFailureStillProducesCorrectTable)
+{
+    const std::vector<double> hc_firsts{4800};
+
+    ExperimentRunner plain(smallConfig(2));
+    const std::string reference = renderSweep(plain.sweep(hc_firsts));
+
+    // Disk fills up immediately: every checkpoint write fails, the
+    // sweep must still complete with the right numbers.
+    TempDir dir;
+    util::FaultInjectingIo io(util::Io::system());
+    io.failAfterBytes = 0;
+
+    auto config = smallConfig(2);
+    config.checkpointPath = dir.path();
+    config.io = &io;
+    ExperimentRunner runner(config);
+    EXPECT_EQ(renderSweep(runner.sweep(hc_firsts)), reference);
+    ASSERT_NE(runner.store(), nullptr);
+    EXPECT_FALSE(runner.store()->persistent());
+}
+
+TEST(Checkpoint, ConfigHashSeparatesRunsButIgnoresExecutionKnobs)
+{
+    const auto base = smallConfig(2);
+
+    // Execution-only knobs must not change the run's identity: a
+    // resume with more threads or a different store path still finds
+    // its shards.
+    auto retuned = smallConfig(8);
+    retuned.checkpointPath = "/somewhere/else";
+    retuned.batchDeadlineMs = 1234;
+    EXPECT_EQ(base.hash(), retuned.hash());
+
+    // Anything that changes the measured numbers must change the hash.
+    auto reseeded = smallConfig(2);
+    reseeded.seed = base.seed + 1;
+    EXPECT_NE(base.hash(), reseeded.hash());
+    auto resized = smallConfig(2);
+    resized.instructionsPerCore += 1;
+    EXPECT_NE(base.hash(), resized.hash());
+}
+
+TEST(Checkpoint, AttackSweepResumesByteIdentical)
+{
+    attack::SweepConfig config;
+    config.hcFirst = 500;
+    config.geometry.rows = 1024;
+    config.geometry.rowDataBits = 4096;
+    config.nSides = {4};
+    config.fuzzCount = 1;
+    config.samplerSizes = {2};
+    config.threads = 2;
+
+    const std::string reference =
+        attack::renderSweepCells(attack::runSweep(config));
+
+    TempDir dir;
+    config.checkpointPath = dir.path();
+    EXPECT_EQ(attack::renderSweepCells(attack::runSweep(config)),
+              reference);
+
+    // The store exists under the attack config's own hash...
+    const std::string store_path =
+        util::RunStore::pathInDir(dir.path(), config.hash());
+    std::string bytes;
+    ASSERT_TRUE(util::Io::system().readFile(store_path, bytes));
+
+    // ...a rerun resumes from it byte-identically...
+    EXPECT_EQ(attack::renderSweepCells(attack::runSweep(config)),
+              reference);
+
+    // ...and corruption degrades to recompute, not to wrong cells.
+    std::string damaged = bytes;
+    damaged[damaged.size() / 2] ^= 0x04;
+    ASSERT_TRUE(
+        atomicWriteFile(util::Io::system(), store_path, damaged));
+    EXPECT_EQ(attack::renderSweepCells(attack::runSweep(config)),
+              reference);
 }
 
 } // namespace

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Crash-safety substrate tests: the util::Io seam (atomic writes under
+ * injected short writes, ENOSPC, fsync/rename failure), the RunStore
+ * checkpoint format (round-trips, header validation), and the
+ * corruption fuzz the ISSUE demands — truncation at every byte
+ * boundary and single-bit flips over the whole file must degrade to
+ * recompute-with-a-warning, never a crash or a silently wrong record.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/io.hh"
+#include "util/run_store.hh"
+#include "util/serialize.hh"
+
+namespace
+{
+
+using namespace rowhammer::util;
+
+/** Unique scratch directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char templ[] = "/tmp/rh_run_store_XXXXXX";
+        path_ = mkdtemp(templ);
+        EXPECT_FALSE(path_.empty());
+    }
+
+    ~TempDir()
+    {
+        const std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readAll(const std::string &path)
+{
+    std::string out;
+    EXPECT_TRUE(Io::system().readFile(path, out));
+    return out;
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    EXPECT_TRUE(atomicWriteFile(Io::system(), path, bytes));
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The standard IEEE CRC-32 check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(Serialize, RoundTripAndBitExactDoubles)
+{
+    ByteWriter w;
+    w.u8(0xAB);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    const double tricky = 0.1 + 0.2; // Not representable exactly.
+    w.f64(tricky);
+    w.str("hello");
+    w.f64Vec({1.0, -0.0, 1e-300});
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i64(), -42);
+    // Bit-exact: the resumed value must equal the interrupted run's.
+    EXPECT_EQ(r.f64(), tricky);
+    EXPECT_EQ(r.str(), "hello");
+    const auto vec = r.f64Vec();
+    ASSERT_EQ(vec.size(), 3u);
+    EXPECT_EQ(vec[0], 1.0);
+    EXPECT_TRUE(std::signbit(vec[1]));
+    EXPECT_EQ(vec[2], 1e-300);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, ReaderUnderrunLatchesNotOk)
+{
+    ByteReader r(std::string("\x01\x02", 2));
+    EXPECT_EQ(r.u8(), 1);
+    // Underrun: whatever value comes back, ok() latches false so the
+    // caller discards the whole record.
+    (void)r.u32();
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.done());
+}
+
+TEST(AtomicWrite, SurvivesShortWrites)
+{
+    TempDir dir;
+    FaultInjectingIo io(Io::system());
+    io.shortWriteLimit = 3; // Force the caller to loop.
+    const std::string path = dir.path() + "/short.bin";
+    const std::string data(1000, 'x');
+    EXPECT_TRUE(atomicWriteFile(io, path, data));
+    EXPECT_GT(io.writeCalls(), 300);
+    EXPECT_EQ(readAll(path), data);
+}
+
+TEST(AtomicWrite, DiskFullLeavesTargetUntouched)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.bin";
+    writeAll(path, "old complete contents");
+
+    FaultInjectingIo io(Io::system());
+    io.failAfterBytes = 10; // ENOSPC partway through the temp file.
+    EXPECT_FALSE(atomicWriteFile(io, path, std::string(100, 'y')));
+
+    // The real file still holds the old complete contents, and the
+    // temp file was cleaned up.
+    EXPECT_EQ(readAll(path), "old complete contents");
+    std::string tmp;
+    EXPECT_FALSE(Io::system().readFile(path + ".tmp", tmp));
+}
+
+TEST(AtomicWrite, FsyncAndRenameFailuresReported)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/f.bin";
+    {
+        FaultInjectingIo io(Io::system());
+        io.failFsync = true;
+        EXPECT_FALSE(atomicWriteFile(io, path, "data"));
+    }
+    {
+        FaultInjectingIo io(Io::system());
+        io.failRename = true;
+        EXPECT_FALSE(atomicWriteFile(io, path, "data"));
+    }
+    {
+        FaultInjectingIo io(Io::system());
+        io.failOpen = true;
+        EXPECT_FALSE(atomicWriteFile(io, path, "data"));
+    }
+    std::string out;
+    EXPECT_FALSE(Io::system().readFile(path, out));
+}
+
+TEST(RunStore, RoundTripAcrossInstances)
+{
+    TempDir dir;
+    const std::uint64_t hash = 0x1122334455667788ull;
+    const std::string path = RunStore::pathInDir(dir.path(), hash);
+
+    RunStore writer(path, hash);
+    EXPECT_EQ(writer.load(), 0u); // First run: no file yet.
+    writer.put(1, "alpha");
+    writer.put(2, std::string("\x00\xFF\n", 3)); // Binary-safe.
+    writer.put(1, "ignored");                    // Duplicate: no-op.
+    EXPECT_EQ(writer.size(), 2u);
+    EXPECT_TRUE(writer.persistent());
+
+    RunStore reader(path, hash);
+    EXPECT_EQ(reader.load(), 2u);
+    ASSERT_NE(reader.get(1), nullptr);
+    EXPECT_EQ(*reader.get(1), "alpha");
+    ASSERT_NE(reader.get(2), nullptr);
+    EXPECT_EQ(*reader.get(2), std::string("\x00\xFF\n", 3));
+    EXPECT_EQ(reader.get(3), nullptr);
+}
+
+TEST(RunStore, PathInDirIsHexHash)
+{
+    EXPECT_EQ(RunStore::pathInDir("/x", 0xABCDull),
+              "/x/000000000000abcd.rst");
+}
+
+TEST(RunStore, ConfigHashMismatchRecomputesAll)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    RunStore writer(path, 111);
+    writer.put(7, "value");
+
+    RunStore stale(path, 222); // Different run description.
+    EXPECT_EQ(stale.load(), 0u);
+    EXPECT_EQ(stale.get(7), nullptr);
+}
+
+TEST(RunStore, NotACheckpointFileRecomputesAll)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    writeAll(path, "this is not a checkpoint");
+    RunStore store(path, 1);
+    EXPECT_EQ(store.load(), 0u);
+}
+
+TEST(RunStore, TruncationFuzzKeepsValidPrefix)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    const std::uint64_t hash = 42;
+
+    std::vector<std::string> values;
+    {
+        RunStore writer(path, hash);
+        for (std::uint64_t k = 0; k < 6; ++k) {
+            values.push_back("value-" + std::to_string(k) +
+                             std::string(k, '#'));
+            writer.put(k, values.back());
+        }
+    }
+    const std::string full = readAll(path);
+
+    // Truncate at every byte boundary: load() must never crash, and
+    // every record it does return must be exactly what was stored —
+    // a valid prefix, never a torn or invented record.
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        writeAll(path, full.substr(0, cut));
+        RunStore store(path, hash);
+        const std::size_t n = store.load();
+        EXPECT_LE(n, values.size());
+        std::size_t found = 0;
+        for (std::uint64_t k = 0; k < values.size(); ++k) {
+            if (const std::string *v = store.get(k)) {
+                EXPECT_EQ(*v, values[k])
+                    << "torn record at cut " << cut;
+                ++found;
+            }
+        }
+        EXPECT_EQ(found, n);
+    }
+
+    // The untruncated file recovers everything.
+    writeAll(path, full);
+    RunStore store(path, hash);
+    EXPECT_EQ(store.load(), values.size());
+}
+
+TEST(RunStore, BitFlipFuzzNeverReturnsCorruptRecords)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    const std::uint64_t hash = 77;
+
+    std::vector<std::string> values;
+    {
+        RunStore writer(path, hash);
+        for (std::uint64_t k = 0; k < 4; ++k) {
+            values.push_back("payload-" + std::to_string(k));
+            writer.put(k, values.back());
+        }
+    }
+    const std::string full = readAll(path);
+
+    // Flip one bit at every position in the file. Whatever load()
+    // recovers must match the original values byte for byte: CRC
+    // framing turns silent corruption into recompute.
+    for (std::size_t byte = 0; byte < full.size(); ++byte) {
+        for (int bit = 0; bit < 8; bit += 3) {
+            std::string damaged = full;
+            damaged[byte] =
+                static_cast<char>(damaged[byte] ^ (1 << bit));
+            writeAll(path, damaged);
+            RunStore store(path, hash);
+            store.load();
+            for (std::uint64_t k = 0; k < values.size(); ++k) {
+                if (const std::string *v = store.get(k)) {
+                    EXPECT_EQ(*v, values[k])
+                        << "corrupt record surfaced at byte " << byte
+                        << " bit " << bit;
+                }
+            }
+        }
+    }
+}
+
+TEST(RunStore, WriteFailureDisablesPersistenceKeepsResults)
+{
+    TempDir dir;
+    FaultInjectingIo io(Io::system());
+    const std::string path = dir.path() + "/store.rst";
+    RunStore store(path, 5, &io);
+
+    store.put(1, "first"); // Lands on disk.
+    io.failAfterBytes = 0; // Disk is now full.
+    store.put(2, "second");
+    EXPECT_FALSE(store.persistent());
+
+    // Both records remain usable in memory: the run's own results are
+    // unaffected by losing the checkpoint.
+    ASSERT_NE(store.get(1), nullptr);
+    ASSERT_NE(store.get(2), nullptr);
+    EXPECT_EQ(store.size(), 2u);
+
+    // Later puts stay in-memory-only without re-warning or crashing.
+    store.put(3, "third");
+    EXPECT_EQ(store.size(), 3u);
+
+    // On disk: the last successful atomic write (record 1 alone).
+    RunStore reloaded(path, 5);
+    EXPECT_EQ(reloaded.load(), 1u);
+    EXPECT_EQ(*reloaded.get(1), "first");
+}
+
+TEST(RunStore, ConcurrentPutsAllLand)
+{
+    TempDir dir;
+    const std::uint64_t hash = 9;
+    const std::string path = dir.path() + "/store.rst";
+    {
+        RunStore store(path, hash);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 4; ++t) {
+            threads.emplace_back([&store, t] {
+                for (int i = 0; i < 16; ++i) {
+                    const std::uint64_t key =
+                        static_cast<std::uint64_t>(t * 16 + i);
+                    store.put(key, "v" + std::to_string(key));
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+        EXPECT_EQ(store.size(), 64u);
+    }
+    RunStore reloaded(path, hash);
+    EXPECT_EQ(reloaded.load(), 64u);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        ASSERT_NE(reloaded.get(k), nullptr);
+        EXPECT_EQ(*reloaded.get(k), "v" + std::to_string(k));
+    }
+}
+
+} // namespace

@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 #include "util/bitvec.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -393,6 +397,97 @@ TEST(TaskPool, ReusableAcrossBatchesAndEmptyBatch)
             17, [&](std::size_t i) { return i + static_cast<std::size_t>(round); });
         ASSERT_EQ(results.size(), 17u);
     }
+}
+
+TEST(TaskPoolWatchdog, FastBatchUnaffectedByDeadline)
+{
+    TaskPool pool(2);
+    pool.setBatchDeadline(std::chrono::milliseconds(60000));
+    const auto results = pool.map(32, [](std::size_t i) { return i; });
+    ASSERT_EQ(results.size(), 32u);
+    EXPECT_FALSE(pool.batchCancelled());
+}
+
+TEST(TaskPoolWatchdog, HungBatchAbortsWithShardIndices)
+{
+    TaskPool pool(2);
+    pool.setBatchDeadline(std::chrono::milliseconds(100));
+    try {
+        pool.forEach(64, [&](std::size_t) {
+            // A cooperative long-running shard: sleeps until the
+            // watchdog fires, then bails out via batchCancelled().
+            for (int tick = 0; tick < 400; ++tick) {
+                if (pool.batchCancelled())
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        });
+        FAIL() << "watchdog did not abort the batch";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("deadline"), std::string::npos);
+        EXPECT_NE(what.find("in-flight shards"), std::string::npos);
+    }
+
+    // The pool survives for the next batch, and the cancel flag
+    // resets: exactly the existing throwing-batch contract.
+    const auto ok = pool.map(8, [](std::size_t i) { return i * 2; });
+    ASSERT_EQ(ok.size(), 8u);
+    EXPECT_FALSE(pool.batchCancelled());
+}
+
+TEST(TaskPoolWatchdog, ZeroDeadlineDisables)
+{
+    TaskPool pool(1);
+    pool.setBatchDeadline(std::chrono::milliseconds(50));
+    pool.setBatchDeadline(std::chrono::milliseconds(0));
+    pool.forEach(2, [](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    });
+    EXPECT_FALSE(pool.batchCancelled());
+}
+
+TEST(ParseLong, AcceptsStrictIntegers)
+{
+    EXPECT_EQ(parseLong("42", "knob"), 42);
+    EXPECT_EQ(parseLong("-7", "knob"), -7);
+    EXPECT_EQ(parseLong("  13  ", "knob"), 13);
+    EXPECT_EQ(parseLong("0", "knob"), 0);
+}
+
+TEST(ParseLong, RejectsGarbageLoudly)
+{
+    // The predecessor (std::atol) silently parsed all of these as 0.
+    EXPECT_THROW(parseLong("four", "RH_THREADS"), FatalError);
+    EXPECT_THROW(parseLong("", "RH_THREADS"), FatalError);
+    EXPECT_THROW(parseLong("12abc", "RH_THREADS"), FatalError);
+    EXPECT_THROW(parseLong("1.5", "RH_THREADS"), FatalError);
+    EXPECT_THROW(parseLong("999999999999999999999999", "RH_THREADS"),
+                 FatalError);
+    try {
+        parseLong("four", "RH_THREADS");
+        FAIL();
+    } catch (const FatalError &err) {
+        // The message names the knob so the typo is findable.
+        EXPECT_NE(std::string(err.what()).find("RH_THREADS"),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("four"),
+                  std::string::npos);
+    }
+}
+
+TEST(EnvLong, FallbackStrictParseAndFatal)
+{
+    unsetenv("RH_TEST_KNOB");
+    EXPECT_EQ(envLong("RH_TEST_KNOB", 5), 5);
+    setenv("RH_TEST_KNOB", "", 1); // Empty = conventional unset.
+    EXPECT_EQ(envLong("RH_TEST_KNOB", 5), 5);
+    setenv("RH_TEST_KNOB", "9", 1);
+    EXPECT_EQ(envLong("RH_TEST_KNOB", 5), 9);
+    setenv("RH_TEST_KNOB", "nine", 1);
+    EXPECT_THROW(envLong("RH_TEST_KNOB", 5), FatalError);
+    unsetenv("RH_TEST_KNOB");
 }
 
 } // namespace
