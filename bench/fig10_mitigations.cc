@@ -27,14 +27,15 @@
  *   RH_DEADLINE_MS  watchdog: abort a sweep batch that exceeds this
  *                   many milliseconds, dumping in-flight shard indices
  *                   to stderr (default 0 = no deadline)
+ *
+ * The config construction and table rendering live in fig10_common.hh,
+ * shared with the rhc daemon client: the same knobs through rhc print
+ * byte-identical figures.
  */
 
 #include <iostream>
-#include <string>
 
-#include "bench_common.hh"
-#include "core/experiment.hh"
-#include "dram/address_functions.hh"
+#include "fig10_common.hh"
 #include "util/logging.hh"
 
 using namespace rowhammer;
@@ -46,117 +47,12 @@ run()
     bench::banner("Figure 10: mitigation mechanism scaling with "
                   "RowHammer vulnerability");
 
-    core::ExperimentConfig config;
-    config.system.cores =
-        static_cast<int>(bench::envLong("RH_F10_CORES", 8));
-    config.instructionsPerCore = bench::envLong("RH_F10_INSTR", 100000);
-    config.warmupInstructions = config.instructionsPerCore / 8;
-    config.mixCount =
-        static_cast<int>(bench::envLong("RH_F10_MIXES", 2));
-    config.threads = static_cast<int>(bench::envLong("RH_THREADS", 0));
-    config.checkpointPath = bench::envString("RH_CHECKPOINT", "");
-    config.batchDeadlineMs = bench::envLong("RH_DEADLINE_MS", 0);
-
-    // Scaled model (see EXPERIMENTS.md): the paper simulates 200M
-    // instructions per core against a 2 GB channel, so hot rows
-    // accumulate hundreds of activations per refresh window. To keep
-    // bench runtime sane we shrink the run AND the memory system
-    // together (DRAM rows, LLC, per-app footprints), preserving the
-    // per-row activation intensity that drives counter-based
-    // mechanisms (TWiCe, Ideal).
-    config.system.organization.rows =
-        static_cast<int>(bench::envLong("RH_F10_ROWS", 512));
-    config.system.llcBytes = bench::envLong("RH_F10_LLC_MB", 1) *
-        1024 * 1024;
-    config.coldBytesPerApp =
-        bench::envLong("RH_F10_COLD_MB", 2) * 1024 * 1024;
-
-    // Address-translation axis: rank/channel counts, mapping
-    // preset/mask file, and optional app-region spreading across the
-    // full memory system.
-    config.system.organization.ranks =
-        static_cast<int>(bench::envLong("RH_F10_RANKS", 1));
-    config.system.organization.channels =
-        static_cast<int>(bench::envLong("RH_F10_CHANNELS", 1));
-    const std::string mapping =
-        bench::envString("RH_F10_MAPPING", "linear");
-    config.system.addressFunctions = dram::AddressFunctions::resolve(
-        mapping, config.system.organization);
-    if (bench::envLong("RH_F10_SPREAD", 0) != 0) {
-        config.appRegionStride =
-            config.system.organization.systemBytes() /
-            config.system.cores;
-    }
-
-    // Spread the selected mixes across the catalogue's MPKI range.
-    for (int i = 0; i < config.mixCount; ++i) {
-        config.mixIndices.push_back(
-            config.mixCount == 1
-                ? 24
-                : i * 47 / (config.mixCount - 1));
-    }
-
-    // The sweep includes the paper's characterized minima (vertical
-    // lines in Figure 10) and the projected future values.
-    const std::vector<double> hc_firsts{200000, 69200, 32000, 17500,
-                                        10000,  4800,  2000,  1024,
-                                        512,    256,   128,   64};
-
-    std::cout << "mixes=" << config.mixCount
-              << " instructions/core=" << config.instructionsPerCore
-              << " cores=" << config.system.cores
-              << " ranks=" << config.system.organization.ranks
-              << " channels=" << config.system.organization.channels
-              << " mapping=" << config.system.addressFunctions.name
-              << "\n\n";
+    core::ExperimentConfig config = bench::fig10ConfigFromEnv();
+    const std::vector<double> hc_firsts = bench::fig10HcFirsts();
+    bench::printFig10RunShape(config, std::cout);
 
     core::ExperimentRunner runner(config);
-    const auto points = runner.sweep(hc_firsts);
-
-    util::TextTable bw;
-    bw.setHeader({"mechanism", "HCfirst", "bandwidth ovh %",
-                  "min..max %"});
-    util::TextTable perf;
-    perf.setHeader({"mechanism", "HCfirst", "norm perf %",
-                    "min..max %"});
-
-    for (const auto &p : points) {
-        const std::string hc_label =
-            util::fmtKilo(p.hcFirst);
-        if (!p.evaluated) {
-            bw.addRow({toString(p.kind), hc_label, "not scalable", "-"});
-            perf.addRow({toString(p.kind), hc_label, "not scalable",
-                         "-"});
-            continue;
-        }
-        if (p.normalizedPerformance.count() == 0)
-            continue;
-        bw.addRow({toString(p.kind), hc_label,
-                   util::fmt(p.bandwidthOverheadPercent.mean(), 3),
-                   util::fmt(p.bandwidthOverheadPercent.min(), 3) +
-                       ".." +
-                       util::fmt(p.bandwidthOverheadPercent.max(), 3)});
-        perf.addRow(
-            {toString(p.kind), hc_label,
-             util::fmt(p.normalizedPerformance.mean() * 100.0, 2),
-             util::fmt(p.normalizedPerformance.min() * 100.0, 2) +
-                 ".." +
-                 util::fmt(p.normalizedPerformance.max() * 100.0, 2)});
-    }
-
-    std::cout << "--- (a) DRAM bandwidth overhead of mitigation ---\n";
-    bw.render(std::cout);
-    std::cout << "\n--- (b) normalized system performance ---\n";
-    perf.render(std::cout);
-
-    std::cout
-        << "\nShape check (paper Section 6.2.2): IncRefresh and TWiCe "
-           "stop\nscaling below ~32k; ProHIT/MRLoc exist only at 2k "
-           "with ~95-100%\nperformance; PARA scales everywhere but "
-           "craters at low HCfirst;\nTWiCe-ideal beats PARA; the Ideal "
-           "oracle stays fastest but is no\nlonger free at HCfirst <= "
-           "256 (Observation: still significant\nopportunity for "
-           "refresh-based mechanisms).\n";
+    bench::renderFigure10(runner.sweep(hc_firsts), std::cout);
     return 0;
 }
 

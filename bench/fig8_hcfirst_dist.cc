@@ -4,6 +4,18 @@
  * HCfirst for every type-node configuration and manufacturer. Each
  * chip's HCfirst is measured with the binary-search procedure of
  * Section 5.5.
+ *
+ * Knobs (environment, documented in EXPERIMENTS.md):
+ *   RH_F8_CHIPS     chips sampled per (type-node, manufacturer) group
+ *                   (default 4)
+ *   RH_THREADS      worker threads (default: one per hardware thread;
+ *                   results are identical for any value)
+ *   RH_CHECKPOINT   checkpoint directory: each chip's finished search
+ *                   persists, so a SIGKILLed run resumes instead of
+ *                   recomputing (default: unset; output is
+ *                   byte-identical either way)
+ *   RH_DEADLINE_MS  watchdog: abort a batch exceeding this many
+ *                   milliseconds (default 0 = no deadline)
  */
 
 #include <iostream>
@@ -30,6 +42,8 @@ run()
     runner_options.threads =
         static_cast<int>(bench::envLong("RH_THREADS", 0));
     runner_options.seed = 31;
+    runner_options.checkpointPath = bench::envString("RH_CHECKPOINT", "");
+    runner_options.batchDeadlineMs = bench::envLong("RH_DEADLINE_MS", 0);
     charlib::PopulationRunner runner(runner_options);
 
     util::TextTable table;

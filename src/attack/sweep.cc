@@ -143,6 +143,26 @@ SweepConfig::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+SweepConfig
+SweepConfig::deserialize(util::ByteReader &r)
+{
+    SweepConfig c;
+    c.spec = fault::ChipSpec::deserialize(r);
+    c.geometry = fault::ChipGeometry::deserialize(r);
+    c.hcFirst = r.f64();
+    c.seed = r.u64();
+    c.nSides = r.intVec();
+    c.fuzzCount = static_cast<int>(r.i64());
+    c.samplerSizes = r.intVec();
+    c.activationBudget = r.i64();
+    c.actsPerRefInterval = r.i64();
+    c.mapping = r.str();
+    c.attackerMapping = r.str();
+    c.mappingRanks = static_cast<int>(r.i64());
+    c.mappingChannels = static_cast<int>(r.i64());
+    return c;
+}
+
 std::vector<SweepCell>
 runSweep(const SweepConfig &config)
 {
@@ -250,7 +270,7 @@ runSweep(const SweepConfig &config)
         checkpoint = std::make_unique<util::RunStore>(
             util::RunStore::pathInDir(config.checkpointPath,
                                       config.hash()),
-            config.hash(), config.io);
+            config.hash(), config.io, /*exclusive=*/true);
         const std::size_t loaded = checkpoint->load();
         if (loaded > 0) {
             util::inform("checkpoint: resuming from " +
@@ -260,11 +280,15 @@ runSweep(const SweepConfig &config)
         }
     }
 
-    util::TaskPool pool(config.threads);
-    if (config.batchDeadlineMs > 0) {
-        pool.setBatchDeadline(
-            std::chrono::milliseconds(config.batchDeadlineMs));
+    std::unique_ptr<util::TaskPool> owned_pool;
+    if (!config.pool) {
+        owned_pool = std::make_unique<util::TaskPool>(config.threads);
+        if (config.batchDeadlineMs > 0) {
+            owned_pool->setBatchDeadline(
+                std::chrono::milliseconds(config.batchDeadlineMs));
+        }
     }
+    util::TaskPool &pool = config.pool ? *config.pool : *owned_pool;
     return pool.map(
         patterns.size() * mechs.size(), [&](std::size_t cell) {
             const std::size_t pi = cell / mechs.size();

@@ -30,7 +30,9 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 class Io;
+class TaskPool;
 } // namespace rowhammer::util
 
 namespace rowhammer::attack
@@ -92,6 +94,10 @@ struct SweepConfig
     /** Filesystem seam for the checkpoint store (tests inject faults
      *  here); null = the real filesystem. Excluded from hash(). */
     util::Io *io = nullptr;
+    /** Borrowed task pool to run on (the daemon owns ONE pool shared
+     *  by every request); null = runSweep() creates its own with
+     *  `threads` workers. Execution-only: excluded from hash(). */
+    util::TaskPool *pool = nullptr;
     /** Watchdog deadline for the cell batch in milliseconds (benches:
      *  RH_DEADLINE_MS); 0 disables. Excluded from hash(). */
     std::int64_t batchDeadlineMs = 0;
@@ -108,6 +114,13 @@ struct SweepConfig
     /** FNV-1a content hash of serialize()'s bytes: the checkpoint
      *  store identity of this run description. */
     std::uint64_t hash() const;
+
+    /**
+     * Rebuild from serialize()'s bytes; check r.ok() afterwards. The
+     * execution-only knobs (threads, checkpointPath, io, pool, ...)
+     * are not on the wire and come back default-initialized.
+     */
+    static SweepConfig deserialize(util::ByteReader &r);
 };
 
 /** One (pattern, mechanism) grid cell. */

@@ -20,6 +20,19 @@ HcFirstOptions::serialize(util::ByteWriter &w) const
     w.i64(flipsPerWord);
 }
 
+HcFirstOptions
+HcFirstOptions::deserialize(util::ByteReader &r)
+{
+    HcFirstOptions o;
+    o.sampleRows = static_cast<int>(r.i64());
+    o.hcMin = r.i64();
+    o.hcMax = r.i64();
+    o.resolution = r.i64();
+    o.bank = static_cast<int>(r.i64());
+    o.flipsPerWord = static_cast<int>(r.i64());
+    return o;
+}
+
 namespace
 {
 

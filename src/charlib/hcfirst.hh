@@ -18,6 +18,7 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 } // namespace rowhammer::util
 
 namespace rowhammer::charlib
@@ -41,6 +42,9 @@ struct HcFirstOptions
     /** Append the bit-stable encoding of every field (run-description
      *  schema; see util/serialize.hh). */
     void serialize(util::ByteWriter &w) const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static HcFirstOptions deserialize(util::ByteReader &r);
 };
 
 /**

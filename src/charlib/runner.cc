@@ -43,10 +43,16 @@ populationStreamSeed(std::uint64_t base, std::uint64_t salt)
 }
 
 PopulationRunner::PopulationRunner(RunnerOptions options)
-    : options_(options), pool_(options.threads)
+    : options_(options)
 {
+    if (options_.pool) {
+        pool_ = options_.pool;
+        return;
+    }
+    ownedPool_ = std::make_unique<util::TaskPool>(options_.threads);
+    pool_ = ownedPool_.get();
     if (options_.batchDeadlineMs > 0) {
-        pool_.setBatchDeadline(
+        pool_->setBatchDeadline(
             std::chrono::milliseconds(options_.batchDeadlineMs));
     }
 }
@@ -77,7 +83,7 @@ PopulationRunner::measureHcFirst(
         checkpoint = std::make_unique<util::RunStore>(
             util::RunStore::pathInDir(options_.checkpointPath,
                                       config_hash),
-            config_hash, options_.io);
+            config_hash, options_.io, /*exclusive=*/true);
         const std::size_t loaded = checkpoint->load();
         if (loaded > 0) {
             util::inform("checkpoint: resuming from " +

@@ -21,6 +21,7 @@
 #define ROWHAMMER_CHARLIB_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -66,6 +67,10 @@ struct RunnerOptions
     /** Watchdog deadline per pool batch in milliseconds; 0 disables
      *  (see util::TaskPool::setBatchDeadline). */
     std::int64_t batchDeadlineMs = 0;
+    /** Borrowed task pool to run on (the daemon owns ONE pool shared
+     *  by every request); null = the runner creates its own with
+     *  `threads` workers. */
+    util::TaskPool *pool = nullptr;
 };
 
 /**
@@ -83,12 +88,12 @@ class PopulationRunner
     PopulationRunner &operator=(const PopulationRunner &) = delete;
 
     /** Pool width (workers; the caller additionally joins batches). */
-    int threadCount() const { return pool_.threadCount(); }
+    int threadCount() const { return pool_->threadCount(); }
 
     const RunnerOptions &options() const { return options_; }
 
     /** The underlying pool, for jobs that manage their own streams. */
-    util::TaskPool &pool() { return pool_; }
+    util::TaskPool &pool() { return *pool_; }
 
     /**
      * results[i] = fn(i, rng_i) for every i in [0, count). fn must be
@@ -102,7 +107,7 @@ class PopulationRunner
         -> std::vector<decltype(fn(std::size_t{0},
                                    std::declval<util::Rng &>()))>
     {
-        return pool_.map(count, [&](std::size_t i) {
+        return pool_->map(count, [&](std::size_t i) {
             util::Rng rng(populationStreamSeed(
                 options_.seed, salts ? (*salts)[i] : i));
             return fn(i, rng);
@@ -128,7 +133,8 @@ class PopulationRunner
 
   private:
     RunnerOptions options_;
-    util::TaskPool pool_;
+    std::unique_ptr<util::TaskPool> ownedPool_; ///< Null w/ options.pool.
+    util::TaskPool *pool_;
 };
 
 } // namespace rowhammer::charlib

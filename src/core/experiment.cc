@@ -130,6 +130,21 @@ ExperimentConfig::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+ExperimentConfig
+ExperimentConfig::deserialize(util::ByteReader &r)
+{
+    ExperimentConfig c;
+    c.system = SystemConfig::deserialize(r);
+    c.instructionsPerCore = r.i64();
+    c.warmupInstructions = r.i64();
+    c.mixCount = static_cast<int>(r.i64());
+    c.mixIndices = r.intVec();
+    c.coldBytesPerApp = r.i64();
+    c.appRegionStride = r.i64();
+    c.seed = r.u64();
+    return c;
+}
+
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config),
       mixes_(workload::mixCatalogue(config.system.cores,
@@ -145,6 +160,8 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
 util::TaskPool &
 ExperimentRunner::pool()
 {
+    if (config_.pool)
+        return *config_.pool;
     if (!pool_) {
         pool_ = std::make_unique<util::TaskPool>(config_.threads);
         if (config_.batchDeadlineMs > 0) {
@@ -164,7 +181,7 @@ ExperimentRunner::store()
         store_ = std::make_unique<util::RunStore>(
             util::RunStore::pathInDir(config_.checkpointPath,
                                       config_.hash()),
-            config_.hash(), config_.io);
+            config_.hash(), config_.io, /*exclusive=*/true);
     }
     if (!storeLoaded_) {
         storeLoaded_ = true;

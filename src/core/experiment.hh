@@ -92,6 +92,10 @@ struct ExperimentConfig
     /** Filesystem seam for the checkpoint store (tests inject faults
      *  here); null = the real filesystem. Excluded from hash(). */
     util::Io *io = nullptr;
+    /** Borrowed task pool to run on (the daemon owns ONE pool shared
+     *  by every request); null = the runner creates its own with
+     *  `threads` workers. Execution-only: excluded from hash(). */
+    util::TaskPool *pool = nullptr;
     /**
      * Watchdog deadline per pool batch in milliseconds (benches:
      * RH_DEADLINE_MS); 0 disables. A batch that outlives it dumps its
@@ -112,6 +116,13 @@ struct ExperimentConfig
     /** FNV-1a content hash of serialize()'s bytes: the checkpoint
      *  store identity of this run description. */
     std::uint64_t hash() const;
+
+    /**
+     * Rebuild from serialize()'s bytes; check r.ok() afterwards. The
+     * execution-only knobs (threads, checkpointPath, io, pool, ...)
+     * are not on the wire and come back default-initialized.
+     */
+    static ExperimentConfig deserialize(util::ByteReader &r);
 };
 
 /**

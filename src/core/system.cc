@@ -33,6 +33,25 @@ SystemConfig::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+SystemConfig
+SystemConfig::deserialize(util::ByteReader &r)
+{
+    SystemConfig c;
+    c.cores = static_cast<int>(r.i64());
+    c.cpuGhz = r.f64();
+    c.issueWidth = static_cast<int>(r.i64());
+    c.windowSize = static_cast<int>(r.i64());
+    c.llcBytes = r.i64();
+    c.llcWays = static_cast<int>(r.i64());
+    c.lineBytes = static_cast<int>(r.i64());
+    c.llcHitLatencyCpu = static_cast<int>(r.i64());
+    c.mshrPerCore = static_cast<int>(r.i64());
+    c.organization = dram::Organization::deserialize(r);
+    c.timing = dram::TimingSpec::deserialize(r);
+    c.addressFunctions = dram::AddressFunctions::deserialize(r);
+    return c;
+}
+
 double
 SystemResult::mpki() const
 {

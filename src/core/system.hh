@@ -54,6 +54,9 @@ struct SystemConfig
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static SystemConfig deserialize(util::ByteReader &r);
 };
 
 /** Results of one system run. */

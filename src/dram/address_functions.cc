@@ -388,6 +388,21 @@ AddressFunctions::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+AddressFunctions
+AddressFunctions::deserialize(util::ByteReader &r)
+{
+    AddressFunctions f;
+    f.scheme = static_cast<Scheme>(r.i64());
+    f.name = r.str();
+    f.channelMasks = r.maskVec();
+    f.columnMasks = r.maskVec();
+    f.bankGroupMasks = r.maskVec();
+    f.bankMasks = r.maskVec();
+    f.rankMasks = r.maskVec();
+    f.rowMasks = r.maskVec();
+    return f;
+}
+
 CompiledAddressMatrix
 compileAddressFunctions(const AddressFunctions &fns,
                         const Organization &org)

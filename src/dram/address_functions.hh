@@ -35,6 +35,7 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 } // namespace rowhammer::util
 
 namespace rowhammer::dram
@@ -125,6 +126,9 @@ struct AddressFunctions
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static AddressFunctions deserialize(util::ByteReader &r);
 };
 
 /**

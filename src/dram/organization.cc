@@ -37,6 +37,20 @@ Organization::hash() const
 }
 
 Organization
+Organization::deserialize(util::ByteReader &r)
+{
+    Organization o;
+    o.channels = static_cast<int>(r.i64());
+    o.ranks = static_cast<int>(r.i64());
+    o.bankGroups = static_cast<int>(r.i64());
+    o.banksPerGroup = static_cast<int>(r.i64());
+    o.rows = static_cast<int>(r.i64());
+    o.columns = static_cast<int>(r.i64());
+    o.bytesPerColumn = static_cast<int>(r.i64());
+    return o;
+}
+
+Organization
 table6Organization()
 {
     Organization org;

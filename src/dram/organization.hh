@@ -15,6 +15,7 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 } // namespace rowhammer::util
 
 namespace rowhammer::dram
@@ -141,6 +142,9 @@ struct Organization
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static Organization deserialize(util::ByteReader &r);
 };
 
 /** The Table 6 system configuration geometry. */

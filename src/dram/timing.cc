@@ -72,6 +72,34 @@ TimingSpec::hash() const
 }
 
 TimingSpec
+TimingSpec::deserialize(util::ByteReader &r)
+{
+    TimingSpec t;
+    t.standard = static_cast<Standard>(r.i64());
+    t.tCKns = r.f64();
+    t.tRCD = static_cast<int>(r.i64());
+    t.tRP = static_cast<int>(r.i64());
+    t.tRAS = static_cast<int>(r.i64());
+    t.tRC = static_cast<int>(r.i64());
+    t.tCL = static_cast<int>(r.i64());
+    t.tCWL = static_cast<int>(r.i64());
+    t.tBL = static_cast<int>(r.i64());
+    t.tRTP = static_cast<int>(r.i64());
+    t.tWR = static_cast<int>(r.i64());
+    t.tCCDS = static_cast<int>(r.i64());
+    t.tCCDL = static_cast<int>(r.i64());
+    t.tRRDS = static_cast<int>(r.i64());
+    t.tRRDL = static_cast<int>(r.i64());
+    t.tFAW = static_cast<int>(r.i64());
+    t.tWTRS = static_cast<int>(r.i64());
+    t.tWTRL = static_cast<int>(r.i64());
+    t.tRFC = static_cast<int>(r.i64());
+    t.tREFI = static_cast<int>(r.i64());
+    t.tREFWms = r.f64();
+    return t;
+}
+
+TimingSpec
 ddr3_1600()
 {
     TimingSpec t;

@@ -20,6 +20,7 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 } // namespace rowhammer::util
 
 namespace rowhammer::dram
@@ -94,6 +95,9 @@ struct TimingSpec
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static TimingSpec deserialize(util::ByteReader &r);
 };
 
 /** DDR3-1600K preset (JEDEC JESD79-3; tRC = 48.75 ns). */

@@ -26,6 +26,16 @@ ChipGeometry::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+ChipGeometry
+ChipGeometry::deserialize(util::ByteReader &r)
+{
+    ChipGeometry g;
+    g.banks = static_cast<int>(r.i64());
+    g.rows = static_cast<int>(r.i64());
+    g.rowDataBits = static_cast<long>(r.i64());
+    return g;
+}
+
 namespace
 {
 

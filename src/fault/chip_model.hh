@@ -86,6 +86,9 @@ struct ChipGeometry
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static ChipGeometry deserialize(util::ByteReader &r);
 };
 
 /**

@@ -224,4 +224,29 @@ ChipSpec::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+ChipSpec
+ChipSpec::deserialize(util::ByteReader &r)
+{
+    ChipSpec s;
+    s.manufacturer = static_cast<Manufacturer>(r.i64());
+    s.typeNode = static_cast<TypeNode>(r.i64());
+    s.minHcFirst = r.f64();
+    s.hcFirstSpread = r.f64();
+    s.rowHammerableFraction = r.f64();
+    s.weakDensityAt150k = r.f64();
+    s.distance3Coupling = r.f64();
+    s.distance5Coupling = r.f64();
+    s.maxCouplingDistance = static_cast<int>(r.i64());
+    s.worstPattern = static_cast<DataPattern>(r.i64());
+    s.onDieEcc = r.u8() != 0;
+    s.meanClusterSize = r.f64();
+    s.clusterThresholdSpread = r.f64();
+    s.eccMultiplier12 = r.f64();
+    s.eccMultiplier23 = r.f64();
+    s.rowRemap = static_cast<RowRemap>(r.i64());
+    s.trueCellFraction = r.f64();
+    s.thresholdWidth = r.f64();
+    return s;
+}
+
 } // namespace rowhammer::fault

@@ -19,6 +19,7 @@
 namespace rowhammer::util
 {
 class ByteWriter;
+class ByteReader;
 } // namespace rowhammer::util
 
 namespace rowhammer::fault
@@ -174,6 +175,9 @@ struct ChipSpec
 
     /** FNV-1a content hash of serialize()'s bytes. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static ChipSpec deserialize(util::ByteReader &r);
 };
 
 /**

@@ -195,6 +195,19 @@ ChipInstance::hash() const
     return util::fnv1a64(w.bytes());
 }
 
+ChipInstance
+ChipInstance::deserialize(util::ByteReader &r)
+{
+    ChipInstance c;
+    c.spec = ChipSpec::deserialize(r);
+    c.moduleId = r.str();
+    c.chipIndex = static_cast<int>(r.i64());
+    c.hcFirst = r.f64();
+    c.rowHammerable = r.u8() != 0;
+    c.seed = r.u64();
+    return c;
+}
+
 std::vector<ChipInstance>
 sampleChips(const ModuleGroup &g, std::uint64_t seed, int chips_per_group)
 {

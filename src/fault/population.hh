@@ -59,6 +59,9 @@ struct ChipInstance
      *  population reordering or subsetting, which is what lets a
      *  checkpointed measurement survive a changed chip sample. */
     std::uint64_t hash() const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static ChipInstance deserialize(util::ByteReader &r);
 };
 
 /** The full Table 7 (110 DDR4 modules). */

@@ -1,0 +1,155 @@
+#include "client.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace rowhammer::service
+{
+
+namespace
+{
+
+/** splitmix64 step: cheap, stateless-seedable jitter stream. */
+std::uint64_t
+nextJitter(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+long
+backoffMs(const ClientOptions &options, int attempt,
+          std::uint64_t &jitter_state)
+{
+    const long base = options.baseBackoffMs > 0 ? options.baseBackoffMs : 1;
+    long backoff = base;
+    for (int i = 1; i < attempt && backoff < options.maxBackoffMs; ++i)
+        backoff *= 2;
+    if (options.maxBackoffMs > 0 && backoff > options.maxBackoffMs)
+        backoff = options.maxBackoffMs;
+    // Jitter in [0, base): decorrelates a fleet of clients retrying a
+    // shedding daemon without changing the schedule's order of growth.
+    const long jitter =
+        static_cast<long>(nextJitter(jitter_state) %
+                          static_cast<std::uint64_t>(base));
+    return backoff + jitter;
+}
+
+CallResult
+callOnce(util::Transport &t, MsgType type, const std::string &payload)
+{
+    CallResult result;
+    result.attempts = 1;
+    if (!util::writeAll(t, encodeFrame(type, payload))) {
+        result.error = "request write failed (peer gone mid-frame)";
+        return result;
+    }
+
+    std::string header;
+    const util::ReadStatus hs =
+        util::readExact(t, header, kFrameHeaderBytes);
+    if (hs != util::ReadStatus::Ok) {
+        switch (hs) {
+          case util::ReadStatus::CleanEof:
+            result.error = "connection closed before a reply arrived";
+            break;
+          case util::ReadStatus::Disconnect:
+            result.error = "reply header torn mid-frame";
+            break;
+          case util::ReadStatus::Timeout:
+            result.error = "timed out waiting for the reply header";
+            break;
+          default:
+            result.error = "transport error reading the reply header";
+            break;
+        }
+        return result;
+    }
+
+    std::string why;
+    const auto h = decodeFrameHeader(header, why);
+    if (!h) {
+        result.error = "bad reply frame: " + why;
+        return result;
+    }
+    if (h->type != MsgType::Reply) {
+        result.error = "peer sent a non-Reply frame to a client";
+        return result;
+    }
+
+    std::string reply_payload;
+    if (util::readExact(t, reply_payload, h->payloadLen) !=
+        util::ReadStatus::Ok) {
+        result.error = "reply payload torn mid-frame";
+        return result;
+    }
+    if (!checkPayload(*h, reply_payload)) {
+        result.error = "reply payload CRC mismatch";
+        return result;
+    }
+    if (!decodeReply(reply_payload, result.reply)) {
+        result.error = "undecodable reply payload";
+        return result;
+    }
+    result.haveReply = true;
+    result.ok = result.reply.status == Status::Ok;
+    if (!result.ok)
+        result.error = statusName(result.reply.status) +
+                       (result.reply.message.empty()
+                            ? ""
+                            : ": " + result.reply.message);
+    return result;
+}
+
+CallResult
+call(const ClientOptions &options, MsgType type,
+     const std::string &payload)
+{
+    std::uint64_t jitter_state = options.jitterSeed;
+    const int budget = options.maxAttempts > 0 ? options.maxAttempts : 1;
+    CallResult last;
+    for (int attempt = 1; attempt <= budget; ++attempt) {
+        std::unique_ptr<util::Transport> transport =
+            options.connector
+                ? options.connector()
+                : util::connectUnix(options.socketPath,
+                                    options.idleReadTimeoutMs);
+        if (!transport) {
+            last = CallResult{};
+            last.error =
+                "cannot connect to " + options.socketPath +
+                " (is rhd running?)";
+        } else {
+            last = callOnce(*transport, type, payload);
+        }
+        last.attempts = attempt;
+        if (last.ok)
+            return last;
+
+        // A decoded reply with a terminal status cannot be fixed by
+        // retrying; RetryLater/ShuttingDown and everything without a
+        // reply (refused connect, torn transport) is transient and
+        // backs off until the budget runs dry.
+        if (last.haveReply &&
+            last.reply.status != Status::RetryLater &&
+            last.reply.status != Status::ShuttingDown)
+            return last;
+
+        if (attempt == budget)
+            break;
+        const long sleep_ms = backoffMs(options, attempt, jitter_state);
+        if (options.sleeper)
+            options.sleeper(sleep_ms);
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleep_ms));
+    }
+    return last;
+}
+
+} // namespace rowhammer::service

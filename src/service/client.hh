@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Client side of the campaign-daemon protocol: frame a request, send
+ * it, read the reply — and retry transient failures (connection
+ * refused, RetryLater shedding, torn replies) with exponential
+ * backoff, deterministic jitter, and a bounded total-attempt budget.
+ *
+ * The transport and the sleeper are injectable, so unit tests drive
+ * the full retry state machine over MemoryTransport pairs and a
+ * recording fake clock; rhc wires the real connectUnix + nanosleep.
+ */
+
+#ifndef ROWHAMMER_SERVICE_CLIENT_HH
+#define ROWHAMMER_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/protocol.hh"
+#include "util/transport.hh"
+
+namespace rowhammer::service
+{
+
+/** Client retry policy + wiring. */
+struct ClientOptions
+{
+    std::string socketPath;
+    /** Total attempts before giving up (includes the first). */
+    int maxAttempts = 5;
+    /** First backoff; doubles per retry (plus jitter). */
+    long baseBackoffMs = 100;
+    /** Backoff growth cap. */
+    long maxBackoffMs = 5000;
+    /** Seed of the deterministic jitter stream (tests pin it). */
+    std::uint64_t jitterSeed = 1;
+    /** Per-read idle timeout, ms; 0 = wait forever. */
+    long idleReadTimeoutMs = 0;
+    /** Sleep seam; null = real nanosleep. Tests record instead. */
+    std::function<void(long /*ms*/)> sleeper;
+    /** Connection seam; null = connectUnix(socketPath). */
+    std::function<std::unique_ptr<util::Transport>()> connector;
+};
+
+/** Outcome of a call() after all retries. */
+struct CallResult
+{
+    bool ok = false;        ///< True iff a Reply with Status::Ok arrived.
+    bool haveReply = false; ///< True iff `reply` was actually decoded.
+    Reply reply;            ///< Last decoded reply (when haveReply).
+    std::string error;      ///< Failure detail when !ok.
+    int attempts = 0;       ///< Attempts consumed.
+};
+
+/**
+ * One logical request against a daemon: connect, frame, send, await
+ * the reply; retry on transient failure per ClientOptions. Terminal
+ * statuses (MalformedRequest, UnsupportedType, InternalError,
+ * DeadlineExceeded) are returned immediately — retrying cannot fix
+ * them; RetryLater/ShuttingDown and transport failures back off and
+ * retry until the attempt budget runs dry.
+ */
+CallResult call(const ClientOptions &options, MsgType type,
+                const std::string &payload);
+
+/**
+ * One attempt over an existing transport (no connect, no retry):
+ * sends the frame, reads and validates the reply frame. The building
+ * block call() loops over; exposed for the fault-injection tests.
+ */
+CallResult callOnce(util::Transport &t, MsgType type,
+                    const std::string &payload);
+
+/** The exact backoff call() sleeps before retry `attempt` (1-based):
+ *  min(base << (attempt-1), max) + jitter in [0, base). Exposed so
+ *  tests can assert the schedule. */
+long backoffMs(const ClientOptions &options, int attempt,
+               std::uint64_t &jitter_state);
+
+} // namespace rowhammer::service
+
+#endif // ROWHAMMER_SERVICE_CLIENT_HH

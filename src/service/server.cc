@@ -1,0 +1,216 @@
+#include "server.hh"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rowhammer::service
+{
+
+Server::Server(ServerConfig config, Engine &engine)
+    : config_(std::move(config)), engine_(engine)
+{
+    if (::pipe(selfPipe_) != 0) {
+        selfPipe_[0] = selfPipe_[1] = -1;
+        util::warn("rhd: cannot create the shutdown self-pipe; "
+                   "SIGTERM drain is degraded to best-effort");
+    }
+}
+
+Server::~Server()
+{
+    for (int fd : selfPipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+Server::requestShutdown()
+{
+    // Async-signal-safe: one write(2), no locks, no allocation.
+    shutdown_.store(true, std::memory_order_relaxed);
+    if (selfPipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const auto n =
+            ::write(selfPipe_[1], &byte, 1);
+    }
+}
+
+bool
+Server::sendReply(util::Transport &t, const Reply &reply)
+{
+    return util::writeAll(t,
+                          encodeFrame(MsgType::Reply,
+                                      encodeReply(reply)));
+}
+
+void
+Server::serveConnection(util::Transport &t)
+{
+    while (true) {
+        std::string header;
+        const util::ReadStatus hs =
+            util::readExact(t, header, kFrameHeaderBytes);
+        if (hs == util::ReadStatus::CleanEof)
+            return; // Client finished and closed; normal end.
+        if (hs == util::ReadStatus::Timeout) {
+            Reply reply;
+            reply.status = Status::MalformedRequest;
+            reply.message = "idle timeout waiting for a frame header";
+            sendReply(t, reply);
+            t.shutdownBoth();
+            return;
+        }
+        if (hs != util::ReadStatus::Ok)
+            return; // Disconnect or transport error: nothing to say.
+
+        std::string why;
+        const auto h = decodeFrameHeader(header, why);
+        if (!h || h->type == MsgType::Reply) {
+            Reply reply;
+            reply.status = Status::MalformedRequest;
+            reply.message =
+                h ? "unexpected Reply frame from a client" : why;
+            sendReply(t, reply);
+            // The stream is desynchronized — the alleged payload
+            // cannot be trusted — so the connection must die.
+            t.shutdownBoth();
+            return;
+        }
+
+        std::string payload;
+        const util::ReadStatus ps =
+            util::readExact(t, payload, h->payloadLen);
+        if (ps == util::ReadStatus::Timeout ||
+            ps == util::ReadStatus::Disconnect ||
+            (ps == util::ReadStatus::CleanEof && h->payloadLen > 0)) {
+            Reply reply;
+            reply.status = Status::MalformedRequest;
+            reply.message = "frame truncated mid-payload";
+            sendReply(t, reply);
+            t.shutdownBoth();
+            return;
+        }
+        if (ps == util::ReadStatus::Error)
+            return;
+        if (!checkPayload(*h, payload)) {
+            Reply reply;
+            reply.status = Status::MalformedRequest;
+            reply.message = "payload CRC mismatch";
+            sendReply(t, reply);
+            t.shutdownBoth();
+            return;
+        }
+
+        if (shutdown_.load(std::memory_order_relaxed) ||
+            engine_.shuttingDown()) {
+            Reply reply;
+            reply.status = Status::ShuttingDown;
+            reply.message = "daemon is draining";
+            sendReply(t, reply);
+            t.shutdownBoth();
+            return;
+        }
+
+        // Bounded admission: shed instead of queuing without bound.
+        // Ping stays admission-free so health checks survive overload.
+        if (h->type != MsgType::Ping &&
+            pending_.fetch_add(1, std::memory_order_acq_rel) >=
+                config_.maxPending) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            Reply reply;
+            reply.status = Status::RetryLater;
+            reply.message = "admission queue full (" +
+                std::to_string(config_.maxPending) +
+                " requests in flight); back off and retry";
+            if (!sendReply(t, reply))
+                return;
+            continue; // Shed the request, keep the connection.
+        }
+
+        Reply reply = engine_.handle(h->type, payload);
+        if (h->type != MsgType::Ping)
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!sendReply(t, reply))
+            return;
+    }
+}
+
+int
+Server::run()
+{
+    const int listen_fd = util::listenUnix(config_.socketPath);
+    if (listen_fd < 0) {
+        util::warn("rhd: cannot listen on " + config_.socketPath);
+        return 1;
+    }
+    util::inform("rhd: serving on " + config_.socketPath);
+
+    while (!shutdown_.load(std::memory_order_relaxed)) {
+        struct pollfd fds[2];
+        fds[0].fd = listen_fd;
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = selfPipe_[0];
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        const int nfds = selfPipe_[0] >= 0 ? 2 : 1;
+        const int rc = ::poll(fds, static_cast<nfds_t>(nfds), 500);
+        if (rc < 0)
+            continue; // EINTR (SIGTERM lands here); loop re-checks.
+        if (rc == 0 || (fds[0].revents & POLLIN) == 0)
+            continue; // Timeout tick or the self-pipe woke us.
+
+        const int conn_fd = util::acceptUnix(listen_fd);
+        if (conn_fd == -2)
+            continue; // Transient (EINTR/EAGAIN).
+        if (conn_fd < 0)
+            break; // Listener is gone; drain and exit.
+
+        auto transport = std::make_shared<util::SocketTransport>(
+            conn_fd, config_.idleReadTimeoutMs);
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            live_.push_back(transport.get());
+            threads_.emplace_back([this, transport] {
+                serveConnection(*transport);
+                std::lock_guard<std::mutex> inner(connMu_);
+                live_.erase(std::remove(live_.begin(), live_.end(),
+                                        transport.get()),
+                            live_.end());
+            });
+        }
+    }
+
+    // Graceful drain: stop computing new shards (completed ones are
+    // already checkpointed), answer in-flight requests ShuttingDown,
+    // unblock every parked read, and collect the threads.
+    util::inform("rhd: draining (" +
+                 std::to_string(engine_.pool().threadCount()) +
+                 " workers, " + std::to_string(pending_.load()) +
+                 " requests in flight)");
+    engine_.beginShutdown();
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (util::Transport *t : live_)
+            t->shutdownBoth();
+    }
+    for (auto &thread : threads_)
+        thread.join();
+    ::close(listen_fd);
+    ::unlink(config_.socketPath.c_str());
+
+    // The memo store persists on every put(); report its final state
+    // so an operator can see what survived the drain.
+    util::inform("rhd: drained; memo store holds " +
+                 std::to_string(engine_.memo().size()) +
+                 " results (persistent=" +
+                 (engine_.memo().persistent() ? "yes" : "no") + ")");
+    return 0;
+}
+
+} // namespace rowhammer::service

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Connection handling of the campaign daemon: a Unix-domain listener,
+ * one thread per connection, a bounded admission gate, and a SIGTERM
+ * graceful drain.
+ *
+ * The per-connection state machine (serveConnection) is written
+ * against the util::Transport seam, so unit tests drive it over
+ * MemoryTransport/FaultInjectingTransport pairs — short reads,
+ * mid-frame disconnects, EAGAIN storms — without a socket in sight.
+ *
+ * Robustness contract:
+ *  - a malformed, truncated, or oversized frame gets a typed error
+ *    reply and a closed connection; the daemon never crashes or hangs
+ *    on wire garbage (an idle-read timeout bounds half-open peers);
+ *  - admission is bounded: past `maxPending` queued requests, new
+ *    work is shed with Status::RetryLater instead of queuing without
+ *    bound (clients back off and retry);
+ *  - on SIGTERM the daemon stops accepting, cancels the in-flight
+ *    batch through the pool (completed shards stay checkpointed),
+ *    answers in-flight requests with ShuttingDown, flushes the memo
+ *    store, and exits 0.
+ */
+
+#ifndef ROWHAMMER_SERVICE_SERVER_HH
+#define ROWHAMMER_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hh"
+#include "util/transport.hh"
+
+namespace rowhammer::service
+{
+
+/** Server configuration. */
+struct ServerConfig
+{
+    std::string socketPath;
+    /** Requests admitted concurrently (incl. the one computing);
+     *  beyond this, RetryLater. */
+    int maxPending = 4;
+    /** Per-read idle timeout on connections, ms; 0 = wait forever
+     *  (tests only — a production daemon must bound half-open peers). */
+    long idleReadTimeoutMs = 30000;
+};
+
+/**
+ * The daemon's accept loop plus per-connection protocol machine.
+ * run() blocks until requestShutdown() (the SIGTERM path) and returns
+ * the process exit code.
+ */
+class Server
+{
+  public:
+    Server(ServerConfig config, Engine &engine);
+    ~Server();
+
+    /**
+     * Serve one connection until clean EOF, error, or shed: the
+     * public seam unit tests exercise. Reads frames, validates them,
+     * runs admission control, evaluates via the engine, writes reply
+     * frames. Never throws.
+     */
+    void serveConnection(util::Transport &t);
+
+    /** Bind + listen + accept until shutdown. Returns the exit code
+     *  (0 on graceful drain, 1 if the socket could not be opened). */
+    int run();
+
+    /** Async-signal-safe shutdown trigger (writes one self-pipe
+     *  byte); run() notices and drains. */
+    void requestShutdown();
+
+    /** Requests currently admitted (tests). */
+    int pending() const { return pending_.load(); }
+
+  private:
+    /** One reply frame; false if the peer is gone. */
+    bool sendReply(util::Transport &t, const Reply &reply);
+
+    ServerConfig config_;
+    Engine &engine_;
+    std::atomic<int> pending_{0};
+    std::atomic<bool> shutdown_{false};
+    int selfPipe_[2] = {-1, -1};
+
+    std::mutex connMu_;
+    /** Live connection transports, so drain can unblock their reads. */
+    std::vector<util::Transport *> live_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace rowhammer::service
+
+#endif // ROWHAMMER_SERVICE_SERVER_HH

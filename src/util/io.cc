@@ -1,6 +1,7 @@
 #include "io.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -82,6 +83,45 @@ class PosixIo : public Io
     removeFile(const std::string &path) override
     {
         return ::unlink(path.c_str()) == 0;
+    }
+
+    bool
+    fileExists(const std::string &path) override
+    {
+        struct stat st;
+        return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+    }
+
+    int
+    openLockFile(const std::string &path) override
+    {
+        return ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    }
+
+    bool
+    tryLockExclusive(int fd) override
+    {
+        return ::flock(fd, LOCK_EX | LOCK_NB) == 0;
+    }
+
+    bool
+    truncateFd(int fd) override
+    {
+        return ::ftruncate(fd, 0) == 0;
+    }
+
+    bool
+    writeAllFd(int fd, const std::string &data) override
+    {
+        std::size_t written = 0;
+        while (written < data.size()) {
+            const long n = static_cast<long>(::write(
+                fd, data.data() + written, data.size() - written));
+            if (n <= 0)
+                return false;
+            written += static_cast<std::size_t>(n);
+        }
+        return true;
     }
 };
 
@@ -196,6 +236,40 @@ bool
 FaultInjectingIo::removeFile(const std::string &path)
 {
     return base_.removeFile(path);
+}
+
+bool
+FaultInjectingIo::fileExists(const std::string &path)
+{
+    return base_.fileExists(path);
+}
+
+int
+FaultInjectingIo::openLockFile(const std::string &path)
+{
+    if (failLockOpen)
+        return -1;
+    return base_.openLockFile(path);
+}
+
+bool
+FaultInjectingIo::tryLockExclusive(int fd)
+{
+    if (failLock)
+        return false;
+    return base_.tryLockExclusive(fd);
+}
+
+bool
+FaultInjectingIo::truncateFd(int fd)
+{
+    return base_.truncateFd(fd);
+}
+
+bool
+FaultInjectingIo::writeAllFd(int fd, const std::string &data)
+{
+    return base_.writeAllFd(fd, data);
 }
 
 } // namespace rowhammer::util

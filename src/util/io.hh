@@ -58,6 +58,32 @@ class Io
     /** unlink(2); false on failure (missing file is failure too). */
     virtual bool removeFile(const std::string &path) = 0;
 
+    /** stat(2): true iff the path names an existing regular file. */
+    virtual bool fileExists(const std::string &path) = 0;
+
+    /**
+     * Open (create, do NOT truncate) a lock file for advisory locking;
+     * -1 on failure. Kept separate from openForWrite so a failed lock
+     * attempt can still read the holder's identity out of the file.
+     */
+    virtual int openLockFile(const std::string &path) = 0;
+
+    /**
+     * flock(2) LOCK_EX | LOCK_NB on an openLockFile() fd. False when
+     * another holder (any process, or another fd in this one) has it.
+     * The lock dies with the fd — a SIGKILLed holder frees it
+     * automatically, which is the whole point of flock over lockfiles.
+     */
+    virtual bool tryLockExclusive(int fd) = 0;
+
+    /** ftruncate(2) to zero, so the holder description can be
+     *  rewritten in place without dropping the lock. */
+    virtual bool truncateFd(int fd) = 0;
+
+    /** write(2) that loops internally; false on any failure. Used for
+     *  the lock-holder description (not the atomic-write path). */
+    virtual bool writeAllFd(int fd, const std::string &data) = 0;
+
     /** The process-wide POSIX implementation. */
     static Io &system();
 };
@@ -86,6 +112,11 @@ class FaultInjectingIo : public Io
     bool failFsync = false;
     bool failRename = false;
     bool failOpen = false;
+    /** Pretend another process holds every advisory lock. */
+    bool failLock = false;
+    /** Fail to open/create lock files (read-only dir): callers must
+     *  degrade to running unguarded, not die. */
+    bool failLockOpen = false;
 
     long bytesWritten() const { return bytesWritten_; }
     int writeCalls() const { return writeCalls_; }
@@ -99,6 +130,11 @@ class FaultInjectingIo : public Io
     bool readFile(const std::string &path, std::string &out) override;
     bool makeDirs(const std::string &path) override;
     bool removeFile(const std::string &path) override;
+    bool fileExists(const std::string &path) override;
+    int openLockFile(const std::string &path) override;
+    bool tryLockExclusive(int fd) override;
+    bool truncateFd(int fd) override;
+    bool writeAllFd(int fd, const std::string &data) override;
 
   private:
     Io &base_;

@@ -1,5 +1,7 @@
 #include "run_store.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <utility>
@@ -74,10 +76,70 @@ crc32(const std::string &bytes)
     return crc ^ 0xFFFFFFFFu;
 }
 
-RunStore::RunStore(std::string path, std::uint64_t configHash, Io *io)
+RunStore::RunStore(std::string path, std::uint64_t configHash, Io *io,
+                   bool exclusive)
     : path_(std::move(path)), configHash_(configHash),
-      io_(io ? io : &Io::system())
+      io_(io ? io : &Io::system()), exclusive_(exclusive)
 {
+}
+
+RunStore::~RunStore()
+{
+    // Dropping the fd releases the flock. The .lock file itself is
+    // deliberately NOT unlinked: removing it while a third process
+    // holds an fd to the same inode reopens the classic two-lockers
+    // race, and a stale empty lock file is harmless.
+    if (lockFd_ >= 0)
+        io_->closeFd(lockFd_);
+}
+
+void
+RunStore::acquireLockLocked()
+{
+    if (!exclusive_ || lockFd_ >= 0)
+        return;
+    const std::string lock_path = path_ + ".lock";
+    const std::size_t slash = path_.rfind('/');
+    if (slash != std::string::npos && slash > 0)
+        io_->makeDirs(path_.substr(0, slash));
+    const int fd = io_->openLockFile(lock_path);
+    if (fd < 0) {
+        warn("run store " + path_ + ": cannot open " + lock_path +
+             "; continuing without the concurrent-open guard");
+        exclusive_ = false;
+        return;
+    }
+    if (!io_->tryLockExclusive(fd)) {
+        std::string holder;
+        if (!io_->readFile(lock_path, holder) || holder.empty())
+            holder = "unknown holder";
+        // Strip a trailing newline for a clean one-line message.
+        while (!holder.empty() && holder.back() == '\n')
+            holder.pop_back();
+        io_->closeFd(fd);
+        fatal("run store " + path_ + " is already open by " + holder +
+              " (advisory lock " + lock_path +
+              "): two live runs must not interleave writes to one "
+              "checkpoint store");
+    }
+    lockFd_ = fd;
+    io_->truncateFd(fd);
+    io_->writeAllFd(fd, "pid " + std::to_string(::getpid()) + "\n");
+}
+
+void
+RunStore::quarantineLocked(const std::string &why)
+{
+    const std::string aside = path_ + ".corrupt";
+    if (io_->renameFile(path_, aside)) {
+        warn("run store " + path_ + ": " + why +
+             "; file quarantined to " + aside +
+             ", recomputing all shards");
+    } else {
+        warn("run store " + path_ + ": " + why +
+             "; quarantine rename failed, recomputing all shards");
+    }
+    quarantined_ = true;
 }
 
 std::string
@@ -90,8 +152,19 @@ std::size_t
 RunStore::load()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    acquireLockLocked();
     records_.clear();
     order_.clear();
+
+    // A crash between atomicWriteFile's write and rename leaves an
+    // orphaned temp file behind; sweep it so it cannot pile up (and so
+    // a later damaged-file post-mortem is not confused by stale bytes).
+    const std::string tmp_path = path_ + ".tmp";
+    if (io_->fileExists(tmp_path)) {
+        warn("run store " + path_ +
+             ": sweeping orphaned temp file from an interrupted write");
+        io_->removeFile(tmp_path);
+    }
 
     std::string bytes;
     if (!io_->readFile(path_, bytes))
@@ -99,23 +172,19 @@ RunStore::load()
 
     if (bytes.size() < kHeaderBytes ||
         !std::equal(kMagic, kMagic + 4, bytes.begin())) {
-        warn("run store " + path_ +
-             ": not a checkpoint file; recomputing all shards");
+        quarantineLocked("not a checkpoint file");
         return 0;
     }
     const std::uint32_t version = readU32(bytes, 4);
     if (version != kFormatVersion) {
-        warn("run store " + path_ + ": format version " +
-             std::to_string(version) + " != " +
-             std::to_string(kFormatVersion) +
-             "; recomputing all shards");
+        quarantineLocked("format version " + std::to_string(version) +
+                         " != " + std::to_string(kFormatVersion));
         return 0;
     }
     const std::uint64_t stamped = readU64(bytes, 8);
     if (stamped != configHash_) {
-        warn("run store " + path_ +
-             ": config hash mismatch (stale run description); "
-             "recomputing all shards");
+        quarantineLocked(
+            "config hash mismatch (stale run description)");
         return 0;
     }
 
@@ -189,6 +258,7 @@ void
 RunStore::put(std::uint64_t key, std::string value)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    acquireLockLocked(); // No-op unless exclusive and not yet held.
     if (!records_.emplace(key, std::move(value)).second)
         return; // Shard already recorded.
     order_.push_back(key);
@@ -220,6 +290,13 @@ RunStore::persistent() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return persistent_;
+}
+
+bool
+RunStore::quarantinedOnLoad() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantined_;
 }
 
 } // namespace rowhammer::util

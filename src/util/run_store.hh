@@ -58,11 +58,20 @@ class RunStore
      * @param path Store file location (parent directories are created
      *     on first put()).
      * @param configHash Content hash of the run description; a file
-     *     stamped with a different hash is ignored (recompute).
+     *     stamped with a different hash is quarantined (recompute).
      * @param io Filesystem seam; nullptr = Io::system().
+     * @param exclusive Take an advisory flock on `<path>.lock` at
+     *     load() (held until destruction) so two live processes — a
+     *     daemon and a concurrently launched bench binary pointing
+     *     RH_CHECKPOINT at the same store — cannot interleave writes.
+     *     The second opener gets a FatalError naming the holder. The
+     *     lock dies with the process, so a SIGKILLed run never wedges
+     *     its successor. Off by default (single-owner test stores).
      */
     RunStore(std::string path, std::uint64_t configHash,
-             Io *io = nullptr);
+             Io *io = nullptr, bool exclusive = false);
+
+    ~RunStore();
 
     /** `<dir>/<hex config hash>.rst`, the conventional store path. */
     static std::string pathInDir(const std::string &dir,
@@ -70,11 +79,21 @@ class RunStore
 
     /**
      * Load existing records from disk. Damage never propagates: a
-     * corrupt header means start empty, a corrupt record means keep
-     * the valid prefix and drop the rest — each with a warn().
+     * corrupt header (bad magic, wrong version, wrong config hash)
+     * quarantines the file — renamed aside to `<path>.corrupt` so the
+     * bytes survive for post-mortem — and the store starts cold; a
+     * corrupt record means keep the valid prefix and drop the rest.
+     * Each path warn()s. An orphaned `<path>.tmp` left by a crash
+     * mid-atomic-write is swept here too. With `exclusive`, this is
+     * also where the advisory lock is taken (FatalError naming the
+     * holder if another live process owns it).
      * Returns the number of records recovered.
      */
     std::size_t load();
+
+    /** True iff load() found a damaged header and renamed the file
+     *  aside to `<path>.corrupt`. */
+    bool quarantinedOnLoad() const;
 
     /** The stored value for a key, or nullptr. */
     const std::string *get(std::uint64_t key) const;
@@ -100,14 +119,24 @@ class RunStore
     /** Serialize header + records in insertion order. */
     std::string encodeFile() const;
 
+    /** Take the advisory lock (mu_ held); FatalError on conflict. */
+    void acquireLockLocked();
+
+    /** Rename the damaged file aside and latch quarantined_ (mu_
+     *  held). */
+    void quarantineLocked(const std::string &why);
+
     std::string path_;
     std::uint64_t configHash_;
     Io *io_;
+    bool exclusive_ = false;
 
     mutable std::mutex mu_;
     std::map<std::uint64_t, std::string> records_;
     std::vector<std::uint64_t> order_; ///< Keys in insertion order.
     bool persistent_ = true;
+    bool quarantined_ = false;
+    int lockFd_ = -1;
 };
 
 } // namespace rowhammer::util

@@ -95,6 +95,10 @@ class ByteReader
   public:
     explicit ByteReader(const std::string &bytes) : bytes_(bytes) {}
 
+    /** The reader only borrows the bytes; constructing one from a
+     *  temporary would read freed memory on the first u8(). */
+    explicit ByteReader(std::string &&) = delete;
+
     std::uint8_t u8()
     {
         if (pos_ >= bytes_.size()) {
@@ -153,6 +157,34 @@ class ByteReader
         out.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i)
             out.push_back(f64());
+        return out;
+    }
+
+    std::vector<std::uint64_t> maskVec()
+    {
+        const std::uint32_t n = u32();
+        if ((bytes_.size() - pos_) / 8 < n) {
+            ok_ = false;
+            return {};
+        }
+        std::vector<std::uint64_t> out;
+        out.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            out.push_back(u64());
+        return out;
+    }
+
+    std::vector<int> intVec()
+    {
+        const std::uint32_t n = u32();
+        if ((bytes_.size() - pos_) / 8 < n) {
+            ok_ = false;
+            return {};
+        }
+        std::vector<int> out;
+        out.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            out.push_back(static_cast<int>(i64()));
         return out;
     }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "logging.hh"
+#include "serialize.hh"
 
 namespace rowhammer::util
 {
@@ -39,6 +40,30 @@ RunningStat::merge(const RunningStat &other)
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::serialize(ByteWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(count_));
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+RunningStat
+RunningStat::deserialize(ByteReader &r)
+{
+    RunningStat s;
+    s.count_ = static_cast<std::size_t>(r.u64());
+    s.mean_ = r.f64();
+    s.m2_ = r.f64();
+    s.sum_ = r.f64();
+    s.min_ = r.f64();
+    s.max_ = r.f64();
+    return s;
 }
 
 double

@@ -17,6 +17,9 @@
 namespace rowhammer::util
 {
 
+class ByteWriter;
+class ByteReader;
+
 /**
  * Streaming accumulator for mean / variance / extrema (Welford's
  * algorithm); O(1) memory, numerically stable.
@@ -29,6 +32,12 @@ class RunningStat
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStat &other);
+
+    /** Append the full accumulator state, bit-exact (wire replies). */
+    void serialize(ByteWriter &w) const;
+
+    /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
+    static RunningStat deserialize(ByteReader &r);
 
     std::size_t count() const { return count_; }
     double mean() const { return count_ ? mean_ : 0.0; }

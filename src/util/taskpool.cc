@@ -88,6 +88,11 @@ TaskPool::forEach(std::size_t count,
 {
     if (count == 0)
         return;
+    if (externalCancel_.load(std::memory_order_relaxed)) {
+        throw BatchCancelled(
+            "fatal: TaskPool: batch cancelled before it started "
+            "(requestCancel() is in effect)");
+    }
     const auto batch_start = std::chrono::steady_clock::now();
     std::chrono::milliseconds deadline{0};
     {
@@ -96,7 +101,9 @@ TaskPool::forEach(std::size_t count,
         batchSize_ = count;
         firstError_ = nullptr;
         next_.store(0, std::memory_order_relaxed);
-        cancel_.store(false, std::memory_order_relaxed);
+        // A requestCancel() racing this batch start must still win.
+        cancel_.store(externalCancel_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
         workersDraining_ = threads_;
         deadline = deadline_;
         ++batchGeneration_;
@@ -135,7 +142,7 @@ TaskPool::forEach(std::size_t count,
         cancel_.store(true, std::memory_order_relaxed);
         done_.wait(lock, drained);
         if (!firstError_) {
-            firstError_ = std::make_exception_ptr(FatalError(
+            firstError_ = std::make_exception_ptr(BatchDeadlineExceeded(
                 "fatal: TaskPool: batch exceeded its " +
                 std::to_string(deadline.count()) +
                 " ms deadline (in-flight shards: " +
@@ -144,6 +151,14 @@ TaskPool::forEach(std::size_t count,
     }
     if (firstError_)
         std::rethrow_exception(firstError_);
+    // After requestCancel() a batch never completes "normally", even
+    // if every index happened to finish before the flag landed — the
+    // caller asked for an abort and gets a consistent answer.
+    if (externalCancel_.load(std::memory_order_relaxed)) {
+        throw BatchCancelled(
+            "fatal: TaskPool: batch cancelled mid-run "
+            "(requestCancel()); completed shards are checkpointed");
+    }
 }
 
 } // namespace rowhammer::util

@@ -27,8 +27,39 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace rowhammer::util
 {
+
+/**
+ * Thrown by forEach() when the batch watchdog fires. A FatalError
+ * subtype so existing catch sites keep working; the service layer
+ * catches this type specifically to map a hung request to a
+ * DeadlineExceeded reply instead of a generic internal error.
+ */
+class BatchDeadlineExceeded : public FatalError
+{
+  public:
+    explicit BatchDeadlineExceeded(const std::string &msg)
+        : FatalError(msg)
+    {
+    }
+};
+
+/**
+ * Thrown by forEach() when requestCancel() aborted the batch (e.g. a
+ * daemon draining on SIGTERM). Also a FatalError subtype; already-
+ * completed shards were checkpointed by the caller's own put() calls,
+ * so a cancelled batch resumes from where it stopped.
+ */
+class BatchCancelled : public FatalError
+{
+  public:
+    explicit BatchCancelled(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
 
 /**
  * Fixed-width worker pool with batch semantics. Workers are started
@@ -79,6 +110,31 @@ class TaskPool
     }
 
     /**
+     * Sticky external cancellation, safe to call from any thread (a
+     * signal-handling drain thread, a connection handler whose peer
+     * vanished). The current batch stops claiming new indices —
+     * in-flight jobs finish — and forEach() throws BatchCancelled;
+     * every later forEach() throws immediately until resetCancel().
+     */
+    void requestCancel()
+    {
+        externalCancel_.store(true, std::memory_order_relaxed);
+        cancel_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Re-arm the pool after requestCancel(); the next batch runs. */
+    void resetCancel()
+    {
+        externalCancel_.store(false, std::memory_order_relaxed);
+    }
+
+    /** True while requestCancel() is in effect. */
+    bool cancelRequested() const
+    {
+        return externalCancel_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * results[i] = fn(i) for every i in [0, count). fn must be safe to
      * call concurrently for distinct i.
      */
@@ -123,6 +179,7 @@ class TaskPool
     // flag, and one in-flight index slot per drainer (-1 = idle).
     std::chrono::milliseconds deadline_{0};
     std::atomic<bool> cancel_{false};
+    std::atomic<bool> externalCancel_{false};
     std::unique_ptr<std::atomic<std::int64_t>[]> inFlight_;
 };
 

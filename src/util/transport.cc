@@ -1,0 +1,333 @@
+#include "transport.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rowhammer::util
+{
+
+namespace
+{
+
+/**
+ * Transient-retry budget for the framing loops. An EAGAIN storm is
+ * survivable; a peer that returns EAGAIN forever must become an error,
+ * not a spin. The budget is generous because injected storms in tests
+ * return kRetry on a schedule, not a bound.
+ */
+constexpr int kMaxTransientRetries = 1 << 16;
+
+} // namespace
+
+// ------------------------------------------------------------ Socket
+
+SocketTransport::SocketTransport(int fd, long idleReadTimeoutMs)
+    : fd_(fd), idleReadTimeoutMs_(idleReadTimeoutMs)
+{
+}
+
+SocketTransport::~SocketTransport()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+long
+SocketTransport::read(void *buf, std::size_t count)
+{
+    if (idleReadTimeoutMs_ > 0) {
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rc =
+            ::poll(&pfd, 1, static_cast<int>(idleReadTimeoutMs_));
+        if (rc == 0)
+            return kTimeout;
+        if (rc < 0)
+            return errno == EINTR ? kRetry : kError;
+    }
+    const long n = static_cast<long>(::read(fd_, buf, count));
+    if (n >= 0)
+        return n; // Includes kEof (0).
+    return (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        ? kRetry
+        : kError;
+}
+
+long
+SocketTransport::write(const void *buf, std::size_t count)
+{
+    const long n = static_cast<long>(::send(
+        fd_, buf, count, MSG_NOSIGNAL)); // EPIPE, not SIGPIPE.
+    if (n >= 0)
+        return n;
+    return (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        ? kRetry
+        : kError;
+}
+
+void
+SocketTransport::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ------------------------------------------------------------ Memory
+
+std::pair<std::unique_ptr<MemoryTransport>,
+          std::unique_ptr<MemoryTransport>>
+MemoryTransport::createPair(long idleReadTimeoutMs)
+{
+    return createPair(idleReadTimeoutMs, idleReadTimeoutMs);
+}
+
+std::pair<std::unique_ptr<MemoryTransport>,
+          std::unique_ptr<MemoryTransport>>
+MemoryTransport::createPair(long aIdleReadTimeoutMs,
+                            long bIdleReadTimeoutMs)
+{
+    auto ab = std::make_shared<Channel>();
+    auto ba = std::make_shared<Channel>();
+    std::unique_ptr<MemoryTransport> a(new MemoryTransport());
+    std::unique_ptr<MemoryTransport> b(new MemoryTransport());
+    a->in_ = ba;
+    a->out_ = ab;
+    b->in_ = ab;
+    b->out_ = ba;
+    a->idleReadTimeoutMs_ = aIdleReadTimeoutMs;
+    b->idleReadTimeoutMs_ = bIdleReadTimeoutMs;
+    return {std::move(a), std::move(b)};
+}
+
+long
+MemoryTransport::read(void *buf, std::size_t count)
+{
+    std::unique_lock<std::mutex> lock(in_->mu);
+    const auto readable = [&] {
+        return !in_->data.empty() || in_->closed;
+    };
+    if (idleReadTimeoutMs_ > 0) {
+        if (!in_->ready.wait_for(
+                lock, std::chrono::milliseconds(idleReadTimeoutMs_),
+                readable)) {
+            return kTimeout;
+        }
+    } else {
+        in_->ready.wait(lock, readable);
+    }
+    if (in_->data.empty())
+        return kEof; // Closed and drained.
+    const std::size_t n = std::min(count, in_->data.size());
+    std::memcpy(buf, in_->data.data(), n);
+    in_->data.erase(0, n);
+    return static_cast<long>(n);
+}
+
+long
+MemoryTransport::write(const void *buf, std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed)
+        return kError; // Writing into a shut-down stream.
+    out_->data.append(static_cast<const char *>(buf), count);
+    out_->ready.notify_all();
+    return static_cast<long>(count);
+}
+
+void
+MemoryTransport::shutdownBoth()
+{
+    {
+        std::lock_guard<std::mutex> lock(in_->mu);
+        in_->closed = true;
+        in_->ready.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(out_->mu);
+        out_->closed = true;
+        out_->ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------- FaultInjecting
+
+long
+FaultInjectingTransport::read(void *buf, std::size_t count)
+{
+    ++readCalls_;
+    if (readRetryEvery > 0 && readCalls_ % readRetryEvery == 0) {
+        ++retriesInjected_;
+        return kRetry;
+    }
+    if (readEofAfterBytes >= 0 && bytesRead_ >= readEofAfterBytes)
+        return kEof; // Peer vanished mid-frame.
+    std::size_t capped = count;
+    if (shortReadLimit >= 0) {
+        capped =
+            std::min(capped, static_cast<std::size_t>(shortReadLimit));
+    }
+    if (readEofAfterBytes >= 0) {
+        capped = std::min(capped, static_cast<std::size_t>(
+                                      readEofAfterBytes - bytesRead_));
+    }
+    if (capped == 0)
+        return kEof;
+    const long n = base_.read(buf, capped);
+    if (n > 0)
+        bytesRead_ += n;
+    return n;
+}
+
+long
+FaultInjectingTransport::write(const void *buf, std::size_t count)
+{
+    ++writeCalls_;
+    if (writeRetryEvery > 0 && writeCalls_ % writeRetryEvery == 0) {
+        ++retriesInjected_;
+        return kRetry;
+    }
+    if (writeErrorAfterBytes >= 0 &&
+        bytesWritten_ >= writeErrorAfterBytes) {
+        return kError; // Connection died mid-send.
+    }
+    std::size_t capped = count;
+    if (shortWriteLimit >= 0) {
+        capped =
+            std::min(capped, static_cast<std::size_t>(shortWriteLimit));
+    }
+    if (writeErrorAfterBytes >= 0) {
+        capped = std::min(capped,
+                          static_cast<std::size_t>(writeErrorAfterBytes -
+                                                   bytesWritten_));
+        if (capped == 0)
+            return kError;
+    }
+    const long n = base_.write(buf, capped);
+    if (n > 0)
+        bytesWritten_ += n;
+    return n;
+}
+
+// ---------------------------------------------------- framing loops
+
+bool
+writeAll(Transport &t, const std::string &data)
+{
+    std::size_t sent = 0;
+    int retries = 0;
+    while (sent < data.size()) {
+        const long n =
+            t.write(data.data() + sent, data.size() - sent);
+        if (n == Transport::kRetry) {
+            if (++retries > kMaxTransientRetries)
+                return false;
+            continue;
+        }
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ReadStatus
+readExact(Transport &t, std::string &out, std::size_t count)
+{
+    const std::size_t start = out.size();
+    char buf[4096];
+    int retries = 0;
+    while (out.size() - start < count) {
+        const std::size_t want =
+            std::min(sizeof(buf), count - (out.size() - start));
+        const long n = t.read(buf, want);
+        if (n == Transport::kRetry) {
+            if (++retries > kMaxTransientRetries)
+                return ReadStatus::Error;
+            continue;
+        }
+        if (n == Transport::kTimeout)
+            return ReadStatus::Timeout;
+        if (n == Transport::kEof) {
+            return out.size() == start ? ReadStatus::CleanEof
+                                       : ReadStatus::Disconnect;
+        }
+        if (n < 0)
+            return ReadStatus::Error;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return ReadStatus::Ok;
+}
+
+// ------------------------------------------------------ Unix socket
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        warn("listenUnix: socket path too long: " + path);
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str()); // A stale socket file blocks bind().
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        warn("listenUnix: cannot bind/listen on " + path + ": " +
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptUnix(int listenFd)
+{
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd >= 0)
+        return fd;
+    return (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        ? -2
+        : -1;
+}
+
+std::unique_ptr<Transport>
+connectUnix(const std::string &path, long idleReadTimeoutMs)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path))
+        return nullptr;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<SocketTransport>(fd, idleReadTimeoutMs);
+}
+
+} // namespace rowhammer::util

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Byte-stream seam for the campaign service, analogous to util::Io for
+ * the filesystem: everything the rhd daemon and rhc client do on the
+ * wire goes through a util::Transport, so tests can inject the failures
+ * long-running campaigns actually hit — short reads and writes,
+ * mid-frame disconnects, EAGAIN storms, stalled peers — and drive the
+ * full client/server state machines without a socket (including under
+ * TSan, via the in-memory pair).
+ *
+ * The production implementation wraps a connected Unix-domain-socket
+ * file descriptor; read() enforces an idle timeout via poll(2), so a
+ * peer that sends half a frame and stalls costs a bounded wait, never a
+ * hung connection thread.
+ */
+
+#ifndef ROWHAMMER_UTIL_TRANSPORT_HH
+#define ROWHAMMER_UTIL_TRANSPORT_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace rowhammer::util
+{
+
+/**
+ * A connected, bidirectional byte stream with POSIX-like partial-I/O
+ * semantics. read()/write() may move fewer bytes than asked (the
+ * framing layer loops), and either may return one of the negative
+ * status codes below. Implementations must tolerate read/write from
+ * one thread while another calls shutdownBoth().
+ */
+class Transport
+{
+  public:
+    /** read() end-of-stream: the peer closed cleanly. */
+    static constexpr long kEof = 0;
+    /** Hard error; the stream is unusable. */
+    static constexpr long kError = -1;
+    /** Transient EAGAIN/EINTR-style failure; retry the same call. */
+    static constexpr long kRetry = -2;
+    /** The idle-read deadline expired with no data. */
+    static constexpr long kTimeout = -3;
+
+    virtual ~Transport() = default;
+
+    /** Up to `count` bytes into `buf`; > 0, or a status code above. */
+    virtual long read(void *buf, std::size_t count) = 0;
+
+    /** Up to `count` bytes from `buf`; > 0 (possibly short), kError,
+     *  or kRetry. */
+    virtual long write(const void *buf, std::size_t count) = 0;
+
+    /**
+     * Shut down both directions so a peer (or our own thread) blocked
+     * in read() unblocks with kEof/kError. Safe to call from another
+     * thread and more than once; the graceful-drain path uses this to
+     * release connection threads parked in reads.
+     */
+    virtual void shutdownBoth() = 0;
+};
+
+/**
+ * Transport over a connected socket fd (owned; closed on destruction).
+ * EINTR and EAGAIN surface as kRetry; an idle-read timeout > 0 bounds
+ * how long read() waits for the first byte to arrive.
+ */
+class SocketTransport : public Transport
+{
+  public:
+    explicit SocketTransport(int fd, long idleReadTimeoutMs = 0);
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    long read(void *buf, std::size_t count) override;
+    long write(const void *buf, std::size_t count) override;
+    void shutdownBoth() override;
+
+  private:
+    int fd_;
+    long idleReadTimeoutMs_;
+};
+
+/**
+ * In-memory duplex pair for unit tests: two endpoints sharing two
+ * buffered channels under one mutex. read() blocks (condition
+ * variable) until data, peer close, or the optional idle timeout.
+ * Thread-safe; exercises the same state machines as a socket without
+ * any fd, which keeps the fault-injection tests TSan-friendly.
+ */
+class MemoryTransport : public Transport
+{
+  public:
+    /** A connected endpoint pair (a <-> b). */
+    static std::pair<std::unique_ptr<MemoryTransport>,
+                     std::unique_ptr<MemoryTransport>>
+    createPair(long idleReadTimeoutMs = 0);
+
+    /** As above with asymmetric idle timeouts, so a test can let one
+     *  end stall (short timeout) while the other waits patiently. */
+    static std::pair<std::unique_ptr<MemoryTransport>,
+                     std::unique_ptr<MemoryTransport>>
+    createPair(long aIdleReadTimeoutMs, long bIdleReadTimeoutMs);
+
+    long read(void *buf, std::size_t count) override;
+    long write(const void *buf, std::size_t count) override;
+    void shutdownBoth() override;
+
+  private:
+    /** One direction of the pair: a bounded-less byte queue. */
+    struct Channel
+    {
+        std::mutex mu;
+        std::condition_variable ready;
+        std::string data;
+        bool closed = false;
+    };
+
+    MemoryTransport() = default;
+
+    std::shared_ptr<Channel> in_;  ///< Peer writes, we read.
+    std::shared_ptr<Channel> out_; ///< We write, peer reads.
+    long idleReadTimeoutMs_ = 0;
+};
+
+/**
+ * Test double wrapping another Transport with an injectable fault
+ * plan: short reads/writes, a mid-frame disconnect after N bytes,
+ * periodic kRetry storms. The wrapped transport is borrowed.
+ */
+class FaultInjectingTransport : public Transport
+{
+  public:
+    explicit FaultInjectingTransport(Transport &base) : base_(base) {}
+
+    /** Cap per-read()/per-write() byte counts (forces framing loops). */
+    long shortReadLimit = -1;
+    long shortWriteLimit = -1;
+    /** After this many bytes delivered to the reader, return kEof:
+     *  the peer vanished mid-frame. -1 disables. */
+    long readEofAfterBytes = -1;
+    /** After this many bytes accepted from the writer, return kError:
+     *  the connection died mid-send. -1 disables. */
+    long writeErrorAfterBytes = -1;
+    /** Return kRetry on every Nth read call (EAGAIN storm); 0 off. */
+    int readRetryEvery = 0;
+    /** Return kRetry on every Nth write call; 0 off. */
+    int writeRetryEvery = 0;
+
+    long bytesRead() const { return bytesRead_; }
+    long bytesWritten() const { return bytesWritten_; }
+    int retriesInjected() const { return retriesInjected_; }
+
+    long read(void *buf, std::size_t count) override;
+    long write(const void *buf, std::size_t count) override;
+    void shutdownBoth() override { base_.shutdownBoth(); }
+
+  private:
+    Transport &base_;
+    long bytesRead_ = 0;
+    long bytesWritten_ = 0;
+    int readCalls_ = 0;
+    int writeCalls_ = 0;
+    int retriesInjected_ = 0;
+};
+
+/**
+ * Write all of `data`, looping over short writes and bounded kRetry
+ * storms. False on kError/kEof or when the transient-retry budget is
+ * exhausted (a peer stuck in permanent EAGAIN must not hang us).
+ */
+bool writeAll(Transport &t, const std::string &data);
+
+/**
+ * Outcome of readExact(): everything beyond Ok maps to a distinct,
+ * typed failure the protocol layer reports instead of crashing on.
+ */
+enum class ReadStatus
+{
+    Ok,         ///< All requested bytes arrived.
+    CleanEof,   ///< Peer closed before the FIRST byte (stream boundary).
+    Disconnect, ///< Peer closed mid-buffer (torn frame).
+    Error,      ///< Hard transport error (or retry budget exhausted).
+    Timeout,    ///< Idle-read deadline expired.
+};
+
+/** Read exactly `count` bytes into `out` (appended), looping over
+ *  short reads and bounded kRetry storms. */
+ReadStatus readExact(Transport &t, std::string &out, std::size_t count);
+
+// ------------------------------------------------------------------
+// Unix-domain-socket helpers (production path of rhd/rhc).
+
+/** Bind + listen on a Unix socket path (unlinking any stale file);
+ *  returns the listening fd, or -1 with a warn() on failure. */
+int listenUnix(const std::string &path, int backlog = 16);
+
+/** Accept one connection; returns the connected fd, -1 on error, or
+ *  -2 on EINTR/EAGAIN (caller rechecks its stop flag). */
+int acceptUnix(int listenFd);
+
+/** Connect to a Unix socket path; nullptr on failure. */
+std::unique_ptr<Transport> connectUnix(const std::string &path,
+                                       long idleReadTimeoutMs = 0);
+
+} // namespace rowhammer::util
+
+#endif // ROWHAMMER_UTIL_TRANSPORT_HH

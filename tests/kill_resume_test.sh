@@ -1,68 +1,94 @@
 #!/bin/sh
-# Crash-safety end-to-end test: SIGKILL fig10_mitigations mid-sweep,
+# Crash-safety end-to-end test: SIGKILL a checkpointed bench mid-run,
 # rerun it against the same checkpoint directory, and assert the
-# resumed table is byte-identical to an uninterrupted run.
+# resumed table is byte-identical to an uninterrupted run. Covers both
+# checkpointed bench families: the Figure 10 mitigation sweep
+# (ExperimentRunner shards) and the Figure 8 HCfirst population run
+# (per-chip PopulationRunner records).
 #
-# Usage: kill_resume_test.sh <path-to-fig10_mitigations>
+# Usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist>]
 set -eu
 
-bin="${1:?usage: kill_resume_test.sh <fig10_mitigations>}"
+fig10="${1:?usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist>]}"
+fig8="${2:-}"
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
-# Sized so the full sweep takes a few seconds: long enough to land a
+# One SIGKILL-resume cycle: $1 = binary, $2 = case name. Expects the
+# bench's scaling knobs to already be exported.
+kill_resume_case() {
+    bin="$1"
+    name="$2"
+    ckpt="$work/$name-ckpt"
+
+    echo "== [$name] uninterrupted reference run"
+    "$bin" > "$work/$name-fresh.txt" 2> "$work/$name-fresh.err"
+
+    echo "== [$name] checkpointed run, to be killed mid-run"
+    RH_CHECKPOINT="$ckpt" "$bin" \
+        > "$work/$name-killed.txt" 2> "$work/$name-killed.err" &
+    pid=$!
+
+    # Wait for the first checkpoint record file, then let a few more
+    # shards land before pulling the plug.
+    i=0
+    while ! ls "$ckpt"/*.rst > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 200 ]; then
+            echo "FAIL: [$name] no checkpoint file within 20s" >&2
+            kill -9 "$pid" 2> /dev/null || true
+            exit 1
+        fi
+        if ! kill -0 "$pid" 2> /dev/null; then
+            break # Run finished before any poll tick; fall through.
+        fi
+        sleep 0.1
+    done
+    sleep 0.3
+
+    if kill -9 "$pid" 2> /dev/null; then
+        echo "   killed pid $pid mid-run"
+    else
+        echo "   run finished before the kill landed (fast machine);" \
+             "resume still exercises the load path"
+    fi
+    wait "$pid" 2> /dev/null || true
+
+    shards="$(ls "$ckpt"/*.rst 2> /dev/null | head -1)"
+    if [ -z "$shards" ]; then
+        echo "FAIL: [$name] checkpoint dir has no record store" >&2
+        exit 1
+    fi
+    echo "   checkpoint store: $(basename "$shards")" \
+         "($(wc -c < "$shards") bytes)"
+
+    echo "== [$name] resumed run against the same checkpoint"
+    RH_CHECKPOINT="$ckpt" "$bin" \
+        > "$work/$name-resumed.txt" 2> "$work/$name-resumed.err"
+
+    if ! cmp -s "$work/$name-fresh.txt" "$work/$name-resumed.txt"; then
+        echo "FAIL: [$name] resumed output differs from the" \
+             "uninterrupted run" >&2
+        diff "$work/$name-fresh.txt" "$work/$name-resumed.txt" >&2 || true
+        exit 1
+    fi
+    echo "PASS: [$name] resumed output is byte-identical to the" \
+         "uninterrupted run"
+}
+
+# Sized so the full runs take a few seconds: long enough to land a
 # SIGKILL mid-batch, short enough for CI.
 RH_F10_INSTR=40000
 RH_F10_MIXES=1
 RH_THREADS=2
 export RH_F10_INSTR RH_F10_MIXES RH_THREADS
 
-echo "== uninterrupted reference run"
-"$bin" > "$work/fresh.txt" 2> "$work/fresh.err"
+kill_resume_case "$fig10" fig10
 
-echo "== checkpointed run, to be killed mid-sweep"
-RH_CHECKPOINT="$work/ckpt" "$bin" > "$work/killed.txt" 2> "$work/killed.err" &
-pid=$!
-
-# Wait for the first checkpoint record file, then let a few more
-# shards land before pulling the plug.
-i=0
-while ! ls "$work"/ckpt/*.rst > /dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 200 ]; then
-        echo "FAIL: no checkpoint file appeared within 20s" >&2
-        kill -9 "$pid" 2> /dev/null || true
-        exit 1
-    fi
-    if ! kill -0 "$pid" 2> /dev/null; then
-        break # Run finished before any poll tick; fall through.
-    fi
-    sleep 0.1
-done
-sleep 0.3
-
-if kill -9 "$pid" 2> /dev/null; then
-    echo "   killed pid $pid mid-sweep"
-else
-    echo "   run finished before the kill landed (fast machine);" \
-         "resume still exercises the load path"
+if [ -n "$fig8" ]; then
+    # Enough chips that the population run outlives the kill window on
+    # a fast machine (the script degrades gracefully if it doesn't).
+    RH_F8_CHIPS=300
+    export RH_F8_CHIPS
+    kill_resume_case "$fig8" fig8
 fi
-wait "$pid" 2> /dev/null || true
-
-shards="$(ls "$work"/ckpt/*.rst 2> /dev/null | head -1)"
-if [ -z "$shards" ]; then
-    echo "FAIL: checkpoint directory has no record store" >&2
-    exit 1
-fi
-echo "   checkpoint store: $(basename "$shards")" \
-     "($(wc -c < "$shards") bytes)"
-
-echo "== resumed run against the same checkpoint"
-RH_CHECKPOINT="$work/ckpt" "$bin" > "$work/resumed.txt" 2> "$work/resumed.err"
-
-if ! cmp -s "$work/fresh.txt" "$work/resumed.txt"; then
-    echo "FAIL: resumed output differs from the uninterrupted run" >&2
-    diff "$work/fresh.txt" "$work/resumed.txt" >&2 || true
-    exit 1
-fi
-echo "PASS: resumed output is byte-identical to the uninterrupted run"

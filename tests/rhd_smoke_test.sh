@@ -1,0 +1,147 @@
+#!/bin/sh
+# End-to-end smoke test of the campaign daemon:
+#   1. start rhd, ping it;
+#   2. cold fig10 query computes; its stdout matches the standalone
+#      fig10_mitigations bench byte-for-byte (shared config + renderer);
+#   3. warm repeat is memo-served and byte-identical;
+#   4. SIGKILL the daemon mid-campaign, restart it, re-query: the
+#      answer resumes from checkpointed shards and stays byte-identical
+#      to an uninterrupted run;
+#   5. SIGTERM drains the daemon to exit code 0 and the memo store
+#      stays loadable (the restarted daemon serves from it).
+#
+# Usage: rhd_smoke_test.sh <rhd> <rhc> <fig10_mitigations>
+set -eu
+
+rhd="${1:?usage: rhd_smoke_test.sh <rhd> <rhc> <fig10_mitigations>}"
+rhc="${2:?missing rhc path}"
+fig10="${3:?missing fig10_mitigations path}"
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2> /dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# The run description: small enough for CI, big enough that the
+# SIGKILL in step 4 lands mid-campaign.
+RH_F10_MIXES=1
+RH_F10_INSTR=40000
+RH_F10_CORES=4
+RH_F10_ROWS=256
+RH_THREADS=2
+RH_SOCKET="$work/rhd.sock"
+RH_STORE_DIR="$work/store"
+export RH_F10_MIXES RH_F10_INSTR RH_F10_CORES RH_F10_ROWS
+export RH_THREADS RH_SOCKET RH_STORE_DIR
+
+start_daemon() {
+    "$rhd" > "$work/rhd.$1.log" 2>&1 &
+    daemon_pid=$!
+    # The client retries connect with backoff, so a ping doubles as
+    # "wait until the socket is up".
+    if ! "$rhc" ping > /dev/null 2>&1; then
+        echo "FAIL: daemon did not come up ($1)" >&2
+        cat "$work/rhd.$1.log" >&2
+        exit 1
+    fi
+}
+
+echo "== start rhd + ping"
+start_daemon boot
+
+echo "== standalone reference run"
+RH_CHECKPOINT= "$fig10" > "$work/standalone.txt" 2> /dev/null
+# rhc prints no banner; compare from the run-shape line onward.
+sed -n '/^mixes=/,$p' "$work/standalone.txt" > "$work/reference.txt"
+
+echo "== cold query"
+"$rhc" fig10 > "$work/cold.txt" 2> "$work/cold.err"
+grep -q "computed" "$work/cold.err" || {
+    echo "FAIL: cold query was not computed" >&2
+    cat "$work/cold.err" >&2
+    exit 1
+}
+cmp -s "$work/reference.txt" "$work/cold.txt" || {
+    echo "FAIL: rhc output differs from standalone fig10_mitigations" >&2
+    diff "$work/reference.txt" "$work/cold.txt" >&2 || true
+    exit 1
+}
+echo "   cold result matches the standalone bench byte-for-byte"
+
+echo "== warm query (memo-served)"
+"$rhc" fig10 > "$work/warm.txt" 2> "$work/warm.err"
+grep -q "memo-served" "$work/warm.err" || {
+    echo "FAIL: warm query was not served from the memo store" >&2
+    cat "$work/warm.err" >&2
+    exit 1
+}
+cmp -s "$work/cold.txt" "$work/warm.txt" || {
+    echo "FAIL: warm reply is not byte-identical to the cold one" >&2
+    exit 1
+}
+echo "   warm reply is memo-served and byte-identical"
+
+echo "== SIGKILL mid-campaign, restart, resume"
+# A fresh run description (different core count) forces a recompute.
+RH_F10_CORES=6
+export RH_F10_CORES
+RH_RHC_ATTEMPTS=1 "$rhc" fig10 > /dev/null 2>&1 &
+query_pid=$!
+# Let the campaign start sharding, then pull the plug.
+i=0
+while ! ls "$RH_STORE_DIR"/*.rst > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && break
+    sleep 0.1
+done
+sleep 0.5
+kill -9 "$daemon_pid" 2> /dev/null || true
+wait "$daemon_pid" 2> /dev/null || true
+wait "$query_pid" 2> /dev/null || true
+echo "   daemon SIGKILLed mid-campaign"
+
+start_daemon restart
+"$rhc" fig10 > "$work/resumed.txt" 2> "$work/resumed.err"
+RH_CHECKPOINT= "$fig10" > "$work/standalone6.txt" 2> /dev/null
+sed -n '/^mixes=/,$p' "$work/standalone6.txt" > "$work/reference6.txt"
+cmp -s "$work/reference6.txt" "$work/resumed.txt" || {
+    echo "FAIL: resumed query differs from an uninterrupted run" >&2
+    diff "$work/reference6.txt" "$work/resumed.txt" >&2 || true
+    exit 1
+}
+echo "   resumed query is byte-identical to an uninterrupted run"
+
+echo "== memo survived the SIGKILL"
+RH_F10_CORES=4
+export RH_F10_CORES
+"$rhc" fig10 > "$work/warm2.txt" 2> "$work/warm2.err"
+grep -q "memo-served" "$work/warm2.err" || {
+    echo "FAIL: pre-kill memo entry was lost across the restart" >&2
+    cat "$work/warm2.err" >&2
+    exit 1
+}
+cmp -s "$work/cold.txt" "$work/warm2.txt" || {
+    echo "FAIL: post-restart warm reply differs" >&2
+    exit 1
+}
+echo "   pre-kill result still memo-served byte-identically"
+
+echo "== SIGTERM graceful drain"
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: drained daemon exited $rc, want 0" >&2
+    exit 1
+fi
+grep -q "drained" "$work/rhd.restart.log" || {
+    echo "FAIL: no drain marker in the daemon log" >&2
+    cat "$work/rhd.restart.log" >&2
+    exit 1
+}
+echo "   SIGTERM drained to exit 0"
+
+echo "PASS: daemon smoke test"

@@ -356,12 +356,15 @@ TEST(Checkpoint, ResumedSweepIsByteIdentical)
     ASSERT_TRUE(util::Io::system().readFile(store_path, bytes));
 
     // A second runner resumes every shard from disk and renders the
-    // same bytes without recomputing anything.
-    ExperimentRunner resumed(config);
-    EXPECT_EQ(renderSweep(resumed.sweep(hc_firsts)), reference);
-    ASSERT_NE(resumed.store(), nullptr);
-    const std::size_t total = resumed.store()->size();
-    EXPECT_GT(total, 0u);
+    // same bytes without recomputing anything. Scoped: the store now
+    // holds an advisory lock for the runner's lifetime, so sequential
+    // runners must not overlap.
+    {
+        ExperimentRunner resumed(config);
+        EXPECT_EQ(renderSweep(resumed.sweep(hc_firsts)), reference);
+        ASSERT_NE(resumed.store(), nullptr);
+        EXPECT_GT(resumed.store()->size(), 0u);
+    }
 
     // A subset of the hcFirst list resumes from the same store: shard
     // keys are content-tagged, not positional.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/io.hh"
+#include "util/logging.hh"
 #include "util/run_store.hh"
 #include "util/serialize.hh"
 
@@ -100,7 +101,8 @@ TEST(Serialize, RoundTripAndBitExactDoubles)
 
 TEST(Serialize, ReaderUnderrunLatchesNotOk)
 {
-    ByteReader r(std::string("\x01\x02", 2));
+    const std::string bytes("\x01\x02", 2);
+    ByteReader r(bytes);
     EXPECT_EQ(r.u8(), 1);
     // Underrun: whatever value comes back, ok() latches false so the
     // caller discards the whole record.
@@ -317,6 +319,151 @@ TEST(RunStore, WriteFailureDisablesPersistenceKeepsResults)
     RunStore reloaded(path, 5);
     EXPECT_EQ(reloaded.load(), 1u);
     EXPECT_EQ(*reloaded.get(1), "first");
+}
+
+TEST(RunStore, OrphanedTempFileIsSweptOnLoad)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    {
+        RunStore writer(path, 3);
+        writer.put(1, "kept");
+    }
+    // Simulate a crash between atomicWriteFile's write and rename: an
+    // orphaned temp file next to a complete store.
+    writeAll(path + ".tmp", "torn write from a dead process");
+
+    RunStore store(path, 3);
+    EXPECT_EQ(store.load(), 1u);
+    EXPECT_FALSE(Io::system().fileExists(path + ".tmp"));
+    ASSERT_NE(store.get(1), nullptr);
+    EXPECT_EQ(*store.get(1), "kept");
+}
+
+TEST(RunStore, HeaderDamageQuarantinesTheFileAside)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    writeAll(path, "this is not a checkpoint");
+
+    RunStore store(path, 1);
+    EXPECT_EQ(store.load(), 0u);
+    EXPECT_TRUE(store.quarantinedOnLoad());
+    // The damaged bytes were moved aside for post-mortem, not deleted
+    // and not left to confuse the next load.
+    EXPECT_FALSE(Io::system().fileExists(path));
+    EXPECT_TRUE(Io::system().fileExists(path + ".corrupt"));
+    EXPECT_EQ(readAll(path + ".corrupt"), "this is not a checkpoint");
+
+    // The store is writable again after quarantine.
+    store.put(1, "fresh");
+    RunStore reloaded(path, 1);
+    EXPECT_EQ(reloaded.load(), 1u);
+    EXPECT_FALSE(reloaded.quarantinedOnLoad());
+}
+
+TEST(RunStore, RecordDamageKeepsPrefixWithoutQuarantine)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    {
+        RunStore writer(path, 8);
+        writer.put(1, "one");
+        writer.put(2, "two");
+    }
+    std::string full = readAll(path);
+    full.back() = static_cast<char>(full.back() ^ 0x01);
+    writeAll(path, full);
+
+    RunStore store(path, 8);
+    EXPECT_EQ(store.load(), 1u); // Valid prefix survives.
+    EXPECT_FALSE(store.quarantinedOnLoad());
+    EXPECT_TRUE(Io::system().fileExists(path));
+}
+
+TEST(RunStore, SecondExclusiveOpenDiesNamingTheHolder)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+
+    RunStore first(path, 4, nullptr, /*exclusive=*/true);
+    first.put(1, "mine");
+
+    // A second live opener of the same checkpoint store (a daemon and
+    // a concurrent bench pointed at one RH_CHECKPOINT dir) must die
+    // loudly, naming the holder, instead of interleaving writes.
+    RunStore second(path, 4, nullptr, /*exclusive=*/true);
+    try {
+        second.load();
+        FAIL() << "second exclusive open did not throw";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("already open by"), std::string::npos);
+        EXPECT_NE(what.find("pid " + std::to_string(getpid())),
+                  std::string::npos);
+        EXPECT_NE(what.find(path + ".lock"), std::string::npos);
+    }
+
+    // The first holder keeps working, and once it is gone the store
+    // opens cleanly again (flock dies with the fd — SIGKILL-safe).
+    first.put(2, "still mine");
+    EXPECT_TRUE(first.persistent());
+}
+
+TEST(RunStore, LockReleasedWhenHolderCloses)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    {
+        RunStore first(path, 4, nullptr, /*exclusive=*/true);
+        first.put(1, "v");
+    }
+    RunStore second(path, 4, nullptr, /*exclusive=*/true);
+    EXPECT_EQ(second.load(), 1u); // No throw: the lock died with fd.
+    second.put(2, "w");
+    EXPECT_EQ(second.size(), 2u);
+}
+
+TEST(RunStore, NonExclusiveOpenersStillCoexist)
+{
+    // Analysis tooling may read a store while a run writes it; only
+    // exclusive openers conflict.
+    TempDir dir;
+    const std::string path = dir.path() + "/store.rst";
+    RunStore writer(path, 4, nullptr, /*exclusive=*/true);
+    writer.put(1, "v");
+
+    RunStore reader(path, 4);
+    EXPECT_EQ(reader.load(), 1u);
+}
+
+TEST(RunStore, UnlockableStoreDegradesToUnguarded)
+{
+    // When the lock file itself cannot be created (read-only dir,
+    // weird filesystem), the store must keep checkpointing with a
+    // warning, not die: the guard is advisory.
+    TempDir dir;
+    FaultInjectingIo io(Io::system());
+    io.failLockOpen = true;
+    const std::string path = dir.path() + "/store.rst";
+    RunStore store(path, 4, &io, /*exclusive=*/true);
+    EXPECT_EQ(store.load(), 0u);
+    store.put(1, "v");
+    EXPECT_TRUE(store.persistent());
+    RunStore reloaded(path, 4);
+    EXPECT_EQ(reloaded.load(), 1u);
+}
+
+TEST(RunStore, InjectedLockConflictDies)
+{
+    // The fault-injection knob pretending every lock is already held,
+    // for driving the conflict path without a second opener.
+    TempDir dir;
+    FaultInjectingIo io(Io::system());
+    io.failLock = true;
+    RunStore store(dir.path() + "/store.rst", 4, &io,
+                   /*exclusive=*/true);
+    EXPECT_THROW(store.load(), FatalError);
 }
 
 TEST(RunStore, ConcurrentPutsAllLand)

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Transport-seam tests: the framing helpers (writeAll/readExact) under
+ * injected short reads/writes, EAGAIN storms, mid-frame disconnects,
+ * and idle timeouts, plus the MemoryTransport pair semantics the
+ * service-layer tests build on. Run under TSan (ROWHAMMER_SANITIZE=
+ * thread) these double as data-race checks on the shared channel
+ * state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "util/transport.hh"
+
+namespace
+{
+
+using namespace rowhammer::util;
+
+TEST(MemoryTransport, RoundTripAndCleanEof)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    EXPECT_TRUE(writeAll(*a, "hello"));
+    std::string got;
+    EXPECT_EQ(readExact(*b, got, 5), ReadStatus::Ok);
+    EXPECT_EQ(got, "hello");
+
+    // Peer closes: the next read at a message boundary is a clean EOF.
+    a->shutdownBoth();
+    std::string rest;
+    EXPECT_EQ(readExact(*b, rest, 1), ReadStatus::CleanEof);
+}
+
+TEST(MemoryTransport, ReadExactAppendsAcrossMultipleWrites)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    std::thread writer([&a = *a] {
+        for (int i = 0; i < 10; ++i)
+            EXPECT_TRUE(writeAll(a, std::string(100, 'x')));
+    });
+    std::string got;
+    EXPECT_EQ(readExact(*b, got, 1000), ReadStatus::Ok);
+    EXPECT_EQ(got, std::string(1000, 'x'));
+    writer.join();
+}
+
+TEST(MemoryTransport, MidBufferCloseIsDisconnectNotCleanEof)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    EXPECT_TRUE(writeAll(*a, "ab"));
+    a->shutdownBoth();
+    std::string got;
+    // Wanted 5, got 2 then EOF: a torn frame, distinct from the clean
+    // stream-boundary EOF.
+    EXPECT_EQ(readExact(*b, got, 5), ReadStatus::Disconnect);
+    EXPECT_EQ(got, "ab");
+}
+
+TEST(MemoryTransport, IdleTimeoutSurfacesAsTimeout)
+{
+    auto [a, b] = MemoryTransport::createPair(/*idleReadTimeoutMs=*/50);
+    std::string got;
+    EXPECT_EQ(readExact(*b, got, 1), ReadStatus::Timeout);
+    (void)a;
+}
+
+TEST(MemoryTransport, ShutdownUnblocksAParkedReader)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    std::thread reader([&b = *b] {
+        std::string got;
+        EXPECT_EQ(readExact(b, got, 100), ReadStatus::CleanEof);
+    });
+    // Give the reader time to park, then release it from another
+    // thread — the graceful-drain path of the daemon.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b->shutdownBoth();
+    reader.join();
+    (void)a;
+}
+
+TEST(FaultInjection, ShortReadsAndWritesAreLoopedOver)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    FaultInjectingTransport flakyA(*a);
+    FaultInjectingTransport flakyB(*b);
+    flakyA.shortWriteLimit = 3;
+    flakyB.shortReadLimit = 2;
+
+    const std::string msg(997, 'q');
+    std::thread writer(
+        [&] { EXPECT_TRUE(writeAll(flakyA, msg)); });
+    std::string got;
+    EXPECT_EQ(readExact(flakyB, got, msg.size()), ReadStatus::Ok);
+    EXPECT_EQ(got, msg);
+    writer.join();
+}
+
+TEST(FaultInjection, RetryStormsAreAbsorbed)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    FaultInjectingTransport flakyA(*a);
+    FaultInjectingTransport flakyB(*b);
+    // Short reads/writes force many transport calls; every 2nd one
+    // EAGAINs, so the framing loops must absorb a genuine storm.
+    flakyA.shortWriteLimit = 2;
+    flakyA.writeRetryEvery = 2;
+    flakyB.shortReadLimit = 2;
+    flakyB.readRetryEvery = 2;
+
+    EXPECT_TRUE(writeAll(flakyA, "payload"));
+    std::string got;
+    EXPECT_EQ(readExact(flakyB, got, 7), ReadStatus::Ok);
+    EXPECT_EQ(got, "payload");
+    EXPECT_GT(flakyA.retriesInjected(), 0);
+    EXPECT_GT(flakyB.retriesInjected(), 0);
+}
+
+TEST(FaultInjection, PeerVanishingMidFrameIsDisconnect)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    FaultInjectingTransport flaky(*b);
+    flaky.readEofAfterBytes = 10; // Dies after 10 delivered bytes.
+
+    EXPECT_TRUE(writeAll(*a, std::string(64, 'z')));
+    std::string got;
+    EXPECT_EQ(readExact(flaky, got, 64), ReadStatus::Disconnect);
+    EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(FaultInjection, WriteErrorMidFrameFailsWriteAll)
+{
+    auto [a, b] = MemoryTransport::createPair();
+    FaultInjectingTransport flaky(*a);
+    flaky.writeErrorAfterBytes = 5;
+    EXPECT_FALSE(writeAll(flaky, std::string(32, 'w')));
+    EXPECT_EQ(flaky.bytesWritten(), 5);
+    (void)b;
+}
+
+TEST(FaultInjection, PermanentEagainExhaustsTheRetryBudget)
+{
+    // A peer stuck in EAGAIN forever must not hang writeAll/readExact:
+    // the bounded transient-retry budget turns it into an error.
+    auto [a, b] = MemoryTransport::createPair();
+    FaultInjectingTransport flaky(*a);
+    flaky.writeRetryEvery = 1; // EVERY call retries.
+    EXPECT_FALSE(writeAll(flaky, "x"));
+
+    FaultInjectingTransport flakyReader(*b);
+    flakyReader.readRetryEvery = 1;
+    std::string got;
+    EXPECT_EQ(readExact(flakyReader, got, 1), ReadStatus::Error);
+}
+
+TEST(SocketTransportTest, RoundTripOverARealSocketPair)
+{
+    const std::string path =
+        "/tmp/rh_transport_test_" + std::to_string(::getpid()) +
+        ".sock";
+    const int listener = listenUnix(path);
+    ASSERT_GE(listener, 0);
+
+    std::unique_ptr<Transport> client;
+    std::thread connector(
+        [&] { client = connectUnix(path, /*idleReadTimeoutMs=*/2000); });
+    int server_fd = -1;
+    for (int i = 0; i < 100 && server_fd < 0; ++i)
+        server_fd = acceptUnix(listener);
+    connector.join();
+    ASSERT_GE(server_fd, 0);
+    ASSERT_NE(client, nullptr);
+    SocketTransport server(server_fd, /*idleReadTimeoutMs=*/2000);
+
+    EXPECT_TRUE(writeAll(*client, "ping"));
+    std::string got;
+    EXPECT_EQ(readExact(server, got, 4), ReadStatus::Ok);
+    EXPECT_EQ(got, "ping");
+    EXPECT_TRUE(writeAll(server, "pong"));
+    std::string back;
+    EXPECT_EQ(readExact(*client, back, 4), ReadStatus::Ok);
+    EXPECT_EQ(back, "pong");
+
+    // Close one side; the other observes EOF, not a hang.
+    client->shutdownBoth();
+    std::string rest;
+    EXPECT_EQ(readExact(server, rest, 1), ReadStatus::CleanEof);
+    ::close(listener);
+    ::unlink(path.c_str());
+}
+
+TEST(SocketTransportTest, IdleReadTimesOut)
+{
+    const std::string path =
+        "/tmp/rh_transport_idle_" + std::to_string(::getpid()) +
+        ".sock";
+    const int listener = listenUnix(path);
+    ASSERT_GE(listener, 0);
+    std::unique_ptr<Transport> client;
+    std::thread connector(
+        [&] { client = connectUnix(path, /*idleReadTimeoutMs=*/60); });
+    int server_fd = -1;
+    for (int i = 0; i < 100 && server_fd < 0; ++i)
+        server_fd = acceptUnix(listener);
+    connector.join();
+    ASSERT_GE(server_fd, 0);
+    ASSERT_NE(client, nullptr);
+
+    // Server never writes: the client's bounded idle read fires.
+    std::string got;
+    EXPECT_EQ(readExact(*client, got, 1), ReadStatus::Timeout);
+    ::close(server_fd);
+    ::close(listener);
+    ::unlink(path.c_str());
+}
+
+} // namespace

@@ -448,6 +448,99 @@ TEST(TaskPoolWatchdog, ZeroDeadlineDisables)
     EXPECT_FALSE(pool.batchCancelled());
 }
 
+TEST(TaskPoolCancel, RequestCancelAbortsBeforeTheBatchStarts)
+{
+    TaskPool pool(2);
+    pool.requestCancel();
+    EXPECT_TRUE(pool.cancelRequested());
+    EXPECT_THROW(pool.forEach(8, [](std::size_t) { FAIL(); }),
+                 BatchCancelled);
+    // Sticky until re-armed.
+    EXPECT_THROW(pool.forEach(1, [](std::size_t) { FAIL(); }),
+                 BatchCancelled);
+    pool.resetCancel();
+    const auto ok = pool.map(4, [](std::size_t i) { return i; });
+    EXPECT_EQ(ok.size(), 4u);
+}
+
+TEST(TaskPoolCancel, MidRunCancelStopsClaimingAndThrows)
+{
+    TaskPool pool(2);
+    std::atomic<int> completed{0};
+    std::atomic<bool> cancelled{false};
+    try {
+        pool.forEach(1000, [&](std::size_t i) {
+            if (i == 0) {
+                // One shard cancels from inside the batch, standing in
+                // for a drain thread reacting to SIGTERM.
+                pool.requestCancel();
+                cancelled.store(true);
+            }
+            ++completed;
+        });
+        FAIL() << "cancelled batch returned normally";
+    } catch (const BatchCancelled &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("cancel"), std::string::npos);
+    }
+    EXPECT_TRUE(cancelled.load());
+    // Claimed shards ran to completion (their checkpoints are valid);
+    // the rest were never started.
+    EXPECT_GE(completed.load(), 1);
+    EXPECT_LT(completed.load(), 1000);
+    pool.resetCancel();
+}
+
+TEST(TaskPoolCancel, CancelWithQueuedShardsThenDestructionIsClean)
+{
+    // The drain-ordering regression this guards: requestCancel() with
+    // most of a large batch still queued, forEach() unwinds via
+    // BatchCancelled, and the pool destructor must join every worker
+    // without deadlocking or leaking (TSan/ASan runs of this test are
+    // the real assertion).
+    for (int round = 0; round < 8; ++round) {
+        TaskPool pool(4);
+        try {
+            pool.forEach(10000, [&](std::size_t) {
+                pool.requestCancel();
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            });
+            FAIL() << "cancelled batch returned normally";
+        } catch (const BatchCancelled &) {
+        }
+        // Destructor runs here with cancel still in effect.
+    }
+}
+
+TEST(TaskPoolCancel, DeadlineAndCancelAreDistinctTypes)
+{
+    // The service layer maps BatchDeadlineExceeded to DeadlineExceeded
+    // and BatchCancelled to ShuttingDown; both stay FatalError for
+    // legacy catch sites.
+    TaskPool pool(2);
+    pool.setBatchDeadline(std::chrono::milliseconds(50));
+    try {
+        pool.forEach(4, [&](std::size_t) {
+            while (!pool.batchCancelled()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+        });
+        FAIL() << "watchdog did not fire";
+    } catch (const BatchCancelled &) {
+        FAIL() << "deadline must not surface as BatchCancelled";
+    } catch (const BatchDeadlineExceeded &err) {
+        EXPECT_NE(std::string(err.what()).find("deadline"),
+                  std::string::npos);
+    }
+    pool.setBatchDeadline(std::chrono::milliseconds(0));
+
+    pool.requestCancel();
+    EXPECT_THROW(pool.forEach(1, [](std::size_t) {}), BatchCancelled);
+    pool.resetCancel();
+}
+
 TEST(ParseLong, AcceptsStrictIntegers)
 {
     EXPECT_EQ(parseLong("42", "knob"), 42);
