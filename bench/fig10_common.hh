@@ -35,6 +35,8 @@ fig10ConfigFromEnv()
     config.warmupInstructions = config.instructionsPerCore / 8;
     config.mixCount = static_cast<int>(envLong("RH_F10_MIXES", 2));
     config.threads = static_cast<int>(envLong("RH_THREADS", 0));
+    config.systemThreads =
+        static_cast<int>(envLong("RH_SYS_THREADS", 1));
     config.checkpointPath = envString("RH_CHECKPOINT", "");
     config.batchDeadlineMs = envLong("RH_DEADLINE_MS", 0);
 
@@ -106,7 +108,7 @@ renderFigure10(const std::vector<core::SweepPoint> &points,
 {
     util::TextTable bw;
     bw.setHeader({"mechanism", "HCfirst", "bandwidth ovh %",
-                  "min..max %"});
+                  "min..max %", "dropped wb"});
     util::TextTable perf;
     perf.setHeader({"mechanism", "HCfirst", "norm perf %",
                     "min..max %"});
@@ -114,7 +116,8 @@ renderFigure10(const std::vector<core::SweepPoint> &points,
     for (const auto &p : points) {
         const std::string hc_label = util::fmtKilo(p.hcFirst);
         if (!p.evaluated) {
-            bw.addRow({toString(p.kind), hc_label, "not scalable", "-"});
+            bw.addRow({toString(p.kind), hc_label, "not scalable", "-",
+                       "-"});
             perf.addRow({toString(p.kind), hc_label, "not scalable",
                          "-"});
             continue;
@@ -125,7 +128,8 @@ renderFigure10(const std::vector<core::SweepPoint> &points,
                    util::fmt(p.bandwidthOverheadPercent.mean(), 3),
                    util::fmt(p.bandwidthOverheadPercent.min(), 3) +
                        ".." +
-                       util::fmt(p.bandwidthOverheadPercent.max(), 3)});
+                       util::fmt(p.bandwidthOverheadPercent.max(), 3),
+                   util::fmt(p.droppedWritebacks.mean(), 1)});
         perf.addRow(
             {toString(p.kind), hc_label,
              util::fmt(p.normalizedPerformance.mean() * 100.0, 2),

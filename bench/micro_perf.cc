@@ -8,8 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "charlib/hcfirst.hh"
 #include "core/system.hh"
+#include "dram/address_functions.hh"
 #include "dram/device.hh"
 #include "ecc/ondie.hh"
 #include "fault/chip_model.hh"
@@ -104,6 +109,48 @@ BM_ExperimentStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExperimentStep);
+
+void
+BM_SystemRun(benchmark::State &state)
+{
+    // A whole multi-channel system run per execution engine and
+    // intra-system thread count (SystemConfig::threads): arg 0 = the
+    // reference lockstep engine, 1 = serial epochs, N > 1 adds
+    // min(N - 1, channels) channel workers. Results are bit-identical
+    // across args; only wall-clock should move.
+    core::SystemConfig config;
+    config.cores = 4;
+    config.organization.rows = 512;
+    config.organization.channels = 4;
+    config.llcBytes = 1024 * 1024;
+    config.addressFunctions = dram::AddressFunctions::resolve(
+        "channel-xor", config.organization);
+    config.lockstep = state.range(0) == 0;
+    config.threads =
+        std::max(1, static_cast<int>(state.range(0)));
+    const auto mixes =
+        workload::mixCatalogue(config.cores, 2 * 1024 * 1024);
+    for (auto _ : state) {
+        // Fresh System per iteration: run() is run-to-completion, and
+        // constructing here also charges each engine its own worker
+        // start-up cost.
+        core::System system(config, mixes[0].apps, 1);
+        std::vector<std::unique_ptr<mitigation::Mitigation>> paras;
+        std::vector<mitigation::Mitigation *> attached;
+        for (int ch = 0; ch < config.organization.channels; ++ch) {
+            paras.push_back(mitigation::makeMitigation(
+                mitigation::Kind::PARA, 4800.0, config.timing,
+                config.organization.rows,
+                7 + static_cast<std::uint64_t>(ch)));
+            attached.push_back(paras.back().get());
+        }
+        system.setMitigations(attached);
+        benchmark::DoNotOptimize(system.run(20000));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemRun)->Arg(0)->Arg(1)->Arg(2)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ChipModelHammer(benchmark::State &state)

@@ -1,6 +1,8 @@
 #include "experiment.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/logging.hh"
@@ -49,6 +51,7 @@ encodeOutcome(const std::optional<MixOutcome> &outcome)
         w.f64(outcome->normalizedPerformance);
         w.f64(outcome->bandwidthOverheadPercent);
         w.f64(outcome->mpki);
+        w.f64(outcome->droppedWritebacks);
     }
     return w.bytes();
 }
@@ -67,6 +70,9 @@ decodeOutcome(const std::string &bytes,
     out.normalizedPerformance = r.f64();
     out.bandwidthOverheadPercent = r.f64();
     out.mpki = r.f64();
+    out.droppedWritebacks = r.f64();
+    // Pre-droppedWritebacks checkpoint records are one f64 short and
+    // fail here, so stale shards are recomputed rather than misread.
     if (!r.done())
         return false;
     outcome = out;
@@ -205,12 +211,34 @@ ExperimentRunner::weightedSpeedup(
     return weightedSpeedupFromIpcs(shared_ipc, alone_ipc);
 }
 
+int
+ExperimentRunner::sweepPoolWidth() const
+{
+    if (config_.pool)
+        return config_.pool->threadCount();
+    const int width = config_.threads > 0
+        ? config_.threads
+        : static_cast<int>(std::thread::hardware_concurrency());
+    return std::max(width, 1);
+}
+
+SystemConfig
+ExperimentRunner::systemConfigForRun() const
+{
+    SystemConfig system = config_.system;
+    // Nesting channel workers inside a parallel sweep would
+    // oversubscribe the machine; the grid fan-out already uses it.
+    system.threads =
+        sweepPoolWidth() > 1 ? 1 : std::max(config_.systemThreads, 1);
+    return system;
+}
+
 double
 ExperimentRunner::soloIpc(int mix_index, int core) const
 {
     const workload::Mix &mix =
         mixes_[static_cast<std::size_t>(mix_index)];
-    SystemConfig solo = config_.system;
+    SystemConfig solo = systemConfigForRun();
     solo.cores = 1;
     System system(solo, {mix.apps[static_cast<std::size_t>(core)]},
                   config_.seed ^
@@ -226,7 +254,7 @@ ExperimentRunner::sharedBaselineIpcs(int mix_index) const
 {
     const workload::Mix &mix =
         mixes_[static_cast<std::size_t>(mix_index)];
-    System system(config_.system, mix.apps,
+    System system(systemConfigForRun(), mix.apps,
                   config_.seed ^
                       (static_cast<std::uint64_t>(mix_index) << 16));
     // NoMitigation is stateless, so one instance per channel costs
@@ -358,7 +386,7 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
 
     const MixBaseline &base = baseline(mix_index);
 
-    System system(config_.system, mix.apps,
+    System system(systemConfigForRun(), mix.apps,
                   config_.seed ^
                       (static_cast<std::uint64_t>(mix_index) << 16));
     system.setMitigations(attached);
@@ -373,6 +401,8 @@ ExperimentRunner::runMix(int mix_index, mitigation::Kind kind,
     outcome.bandwidthOverheadPercent =
         result.memStats.bandwidthOverheadPercent();
     outcome.mpki = result.mpki();
+    outcome.droppedWritebacks =
+        static_cast<double>(result.memStats.droppedWritebacks);
     return outcome;
 }
 
@@ -442,6 +472,7 @@ ExperimentRunner::sweep(const std::vector<double> &hc_firsts)
             outcomes[i]->normalizedPerformance);
         point.bandwidthOverheadPercent.add(
             outcomes[i]->bandwidthOverheadPercent);
+        point.droppedWritebacks.add(outcomes[i]->droppedWritebacks);
     }
     return points;
 }

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 #include "util/serialize.hh"
@@ -23,6 +24,14 @@ SystemConfig::serialize(util::ByteWriter &w) const
     organization.serialize(w);
     timing.serialize(w);
     addressFunctions.serialize(w);
+    // Controller queue geometry affects results; the eventDriven
+    // engine toggle (and the threads/lockstep execution knobs above)
+    // do not, and stay out of the run-description schema.
+    w.i64(controller.readQueueSize);
+    w.i64(controller.writeQueueSize);
+    w.i64(controller.writeHighWatermark);
+    w.i64(controller.writeLowWatermark);
+    w.i64(controller.rowIdleCloseCycles);
 }
 
 std::uint64_t
@@ -49,6 +58,11 @@ SystemConfig::deserialize(util::ByteReader &r)
     c.organization = dram::Organization::deserialize(r);
     c.timing = dram::TimingSpec::deserialize(r);
     c.addressFunctions = dram::AddressFunctions::deserialize(r);
+    c.controller.readQueueSize = static_cast<int>(r.i64());
+    c.controller.writeQueueSize = static_cast<int>(r.i64());
+    c.controller.writeHighWatermark = static_cast<int>(r.i64());
+    c.controller.writeLowWatermark = static_cast<int>(r.i64());
+    c.controller.rowIdleCloseCycles = static_cast<int>(r.i64());
     return c;
 }
 
@@ -85,8 +99,17 @@ System::System(SystemConfig config,
 
     for (int ch = 0; ch < config_.organization.channels; ++ch) {
         controllers_.push_back(std::make_unique<sim::Controller>(
-            config_.organization, config_.timing,
-            sim::Controller::Config{}, config_.addressFunctions));
+            config_.organization, config_.timing, config_.controller,
+            config_.addressFunctions));
+    }
+
+    if (config_.threads > 1 && !config_.lockstep) {
+        gang_ = std::make_unique<util::EpochGang>(
+            channels(), std::min(config_.threads - 1, channels()),
+            [this](int shard, std::int64_t target) {
+                controllers_[static_cast<std::size_t>(shard)]->advanceTo(
+                    target);
+            });
     }
 
     const double device_ghz = 1.0 / config_.timing.tCKns;
@@ -146,27 +169,18 @@ bool
 System::sendFromCore(int core_id, std::uint64_t addr, bool write,
                      std::function<void()> done)
 {
-    // Wrap addresses into the memory system's capacity, then route by
-    // the channel field only — most accesses hit the LLC and never
-    // need the full decode, which the controller runs at enqueue for
-    // real misses.
+    // Wrap addresses into the memory system's capacity.
     const auto capacity = static_cast<std::uint64_t>(
         config_.organization.systemBytes());
     addr %= capacity;
-    sim::Controller &controller = *controllers_[static_cast<std::size_t>(
-        mapper_.decodeChannel(addr))];
 
-    // Conservative back-pressure check before touching LLC state, so a
-    // rejected access can be retried without a double fill.
-    if (!write && mshrInUse_[static_cast<std::size_t>(core_id)] >=
-                      config_.mshrPerCore) {
-        return false;
-    }
-    if (controller.readQueueSpace() == 0)
-        return false;
-
-    const cpu::CacheAccessResult access = llc_.access(addr, write);
-    if (access.hit) {
+    // LLC hits are served entirely by the cache: memory-queue state
+    // must not reject them (the seed gated every access, hits
+    // included, on the demand channel's read queue), and skipping the
+    // controller entirely keeps the common case lock-free under the
+    // epoch engine.
+    if (llc_.contains(addr)) {
+        (void)llc_.access(addr, write); // Guaranteed hit.
         if (done) {
             hitQueue_.push_back(PendingHit{
                 cpuCycle_ + config_.llcHitLatencyCpu, std::move(done)});
@@ -176,41 +190,86 @@ System::sendFromCore(int core_id, std::uint64_t addr, bool write,
         return true;
     }
 
-    // Dirty victim goes back to memory (posted; best effort if the
-    // write queue is momentarily full). The victim line routes by its
-    // own address, which may be a different channel.
-    if (access.writeback) {
-        sim::Request wb;
-        wb.addr = *access.writeback;
-        wb.type = sim::Request::Type::Write;
-        wb.coreId = core_id;
-        controllers_[static_cast<std::size_t>(
-                         mapper_.decodeChannel(wb.addr))]
-            ->enqueue(std::move(wb));
-    }
+    const int ch = mapper_.decodeChannel(addr);
+    sim::Controller &controller =
+        *controllers_[static_cast<std::size_t>(ch)];
 
+    // Back-pressure checks before touching LLC state, so a rejected
+    // access retries without a double fill. Each access type gates on
+    // its own queue: the seed gated writes on the READ queue and then
+    // dropped them silently when the write queue was full.
+    if (!write && mshrInUse_[static_cast<std::size_t>(core_id)] >=
+                      config_.mshrPerCore) {
+        return false;
+    }
+    bool has_space = false;
+    withChannel(ch, [&] {
+        controller.advanceTo(chanSyncTarget_);
+        has_space = write ? controller.writeQueueSpace() > 0
+                          : controller.readQueueSpace() > 0;
+    });
+    if (!has_space)
+        return false;
+
+    const cpu::CacheAccessResult access = llc_.access(addr, write);
+
+    // The demand request enqueues first — its slot was just checked,
+    // and a same-channel writeback must not steal it — so failure here
+    // is a logic error, never back-pressure.
     sim::Request request;
     request.addr = addr;
     request.coreId = core_id;
     if (write) {
         request.type = sim::Request::Type::Write;
-        controller.enqueue(std::move(request));
+        withChannel(ch, [&] {
+            if (!controller.enqueue(std::move(request))) {
+                util::fatal("System::sendFromCore: demand write "
+                            "rejected despite free write-queue slot");
+            }
+        });
         if (done)
             done();
-        return true;
+    } else {
+        request.type = sim::Request::Type::Read;
+        ++mshrInUse_[static_cast<std::size_t>(core_id)];
+        auto &mshr = mshrInUse_[static_cast<std::size_t>(core_id)];
+        request.onComplete = [&mshr, done = std::move(done)] {
+            --mshr;
+            if (done)
+                done();
+        };
+        withChannel(ch, [&] {
+            if (!controller.enqueue(std::move(request))) {
+                util::fatal("System::sendFromCore: demand read "
+                            "rejected despite free read-queue slot");
+            }
+            // A queued read lowers the earliest cycle this channel can
+            // call back into the CPU; the running epoch must not
+            // outrun it.
+            epochHorizon_ = std::min(epochHorizon_,
+                                     controller.cpuInteractionBound());
+            if (gang_)
+                gang_->shrinkHorizon(epochHorizon_);
+        });
     }
 
-    request.type = sim::Request::Type::Read;
-    ++mshrInUse_[static_cast<std::size_t>(core_id)];
-    auto &mshr = mshrInUse_[static_cast<std::size_t>(core_id)];
-    request.onComplete = [&mshr, done = std::move(done)] {
-        --mshr;
-        if (done)
-            done();
-    };
-    if (!controller.enqueue(std::move(request))) {
-        --mshr;
-        return false;
+    // Dirty victim goes back to memory (posted; best effort if the
+    // write queue is momentarily full, and a drop is counted in
+    // ControllerStats::droppedWritebacks). The victim line routes by
+    // its own address, which may be a different channel.
+    if (access.writeback) {
+        sim::Request wb;
+        wb.addr = *access.writeback;
+        wb.type = sim::Request::Type::Write;
+        wb.coreId = core_id;
+        const int wb_ch = mapper_.decodeChannel(wb.addr);
+        withChannel(wb_ch, [&] {
+            auto &victim_controller =
+                *controllers_[static_cast<std::size_t>(wb_ch)];
+            victim_controller.advanceTo(chanSyncTarget_);
+            if (!victim_controller.enqueue(std::move(wb)))
+                victim_controller.notePostedWriteDrop();
+        });
     }
     return true;
 }
@@ -231,15 +290,89 @@ System::cpuTick()
 }
 
 void
-System::step()
+System::cpuDeviceStep()
 {
-    for (auto &controller : controllers_)
-        controller->tick();
     cpuBudget_ += cpuRatio_;
     while (cpuBudget_ >= 1.0) {
         cpuTick();
         cpuBudget_ -= 1.0;
     }
+}
+
+dram::Cycle
+System::deviceNow() const
+{
+    dram::Cycle now = 0;
+    for (const auto &controller : controllers_)
+        now = std::max(now, controller->now());
+    return now;
+}
+
+void
+System::step()
+{
+    for (auto &controller : controllers_)
+        controller->tick();
+    chanSyncTarget_ = controllers_.front()->now();
+    cpuDeviceStep();
+}
+
+void
+System::advanceEpoch(const std::function<bool()> &stop)
+{
+    const dram::Cycle start = controllers_.front()->now();
+    dram::Cycle bound = std::numeric_limits<dram::Cycle>::max();
+    for (const auto &controller : controllers_)
+        bound = std::min(bound, controller->cpuInteractionBound());
+
+    if (bound <= start) {
+        // A read completion can reach the CPU this very cycle: run one
+        // reference lockstep cycle. This is the only place completion
+        // callbacks fire, and step() fires them in canonical channel
+        // order.
+        step();
+        return;
+    }
+
+    // No channel can call back into the CPU before `bound`: run the
+    // CPU side ahead while the channels catch up concurrently, syncing
+    // only at enqueue points (sendFromCore). Workers trail the CPU by
+    // design — during CPU device-step t they may advance a channel to
+    // at most t + 1, exactly where the lockstep engine would have it
+    // when step t's requests land — so an on-demand sync is usually a
+    // no-op.
+    epochHorizon_ = std::min(bound, start + kEpochCapCycles);
+    if (gang_)
+        gang_->begin(start + 1, epochHorizon_);
+    dram::Cycle t = start;
+    try {
+        while (true) {
+            chanSyncTarget_ = t + 1;
+            cpuDeviceStep();
+            ++t;
+            if ((stop && stop()) || t >= epochHorizon_)
+                break;
+            if (gang_)
+                gang_->publishSafe(t + 1);
+        }
+    } catch (...) {
+        // Quiesce the workers before unwinding; chanSyncTarget_ is the
+        // highest bound they may have been handed.
+        if (gang_)
+            gang_->finish(chanSyncTarget_);
+        throw;
+    }
+    // Close the epoch at t: every channel catches up to the CPU. No
+    // completion can fire during the catch-up — deadlines sit at or
+    // beyond the horizon, and advanceTo(t) only executes cycles below
+    // t — so the next epoch (or serial step) delivers them.
+    if (gang_) {
+        gang_->finish(t);
+    } else {
+        for (auto &controller : controllers_)
+            controller->advanceTo(t);
+    }
+    chanSyncTarget_ = t;
 }
 
 SystemResult
@@ -256,17 +389,32 @@ System::run(std::int64_t instructions_per_core,
 
     auto run_until = [&](const std::vector<std::int64_t> &targets) {
         cpuBudget_ = 0.0;
-        // Guard against pathological configurations.
+        // Guard against pathological configurations. Channel-aware:
+        // deviceNow() takes the max over all channels, so a saturated
+        // non-zero channel trips the fatal too.
         const std::int64_t max_device_cycles =
             2LL * 1000 * 1000 * 1000;
-        std::int64_t start = controllers_.front()->now();
-        while (!all_retired(targets)) {
-            step();
-            if (controllers_.front()->now() - start > max_device_cycles) {
+        const dram::Cycle start = deviceNow();
+        const auto check_converged = [&] {
+            if (deviceNow() - start > max_device_cycles) {
                 util::fatal("System::run: simulation did not converge "
                             "(mitigation overhead may be saturating "
-                            "the DRAM channel)");
+                            "a DRAM channel)");
             }
+        };
+        if (config_.lockstep) {
+            while (!all_retired(targets)) {
+                step();
+                check_converged();
+            }
+            return;
+        }
+        const std::function<bool()> stop = [&] {
+            return all_retired(targets);
+        };
+        while (!all_retired(targets)) {
+            advanceEpoch(stop);
+            check_converged();
         }
     };
 
@@ -304,6 +452,7 @@ System::run(std::int64_t instructions_per_core,
     result.llcStats.hits -= base_llc.hits;
     result.llcStats.misses -= base_llc.misses;
     result.llcStats.writebacks -= base_llc.writebacks;
+    result.llcStats.writeMisses -= base_llc.writeMisses;
     result.memStats = aggregateMemStats();
     result.memStats.cycles -= base_mem.cycles;
     result.memStats.readsServed -= base_mem.readsServed;
@@ -312,6 +461,8 @@ System::run(std::int64_t instructions_per_core,
     result.memStats.autoRefreshes -= base_mem.autoRefreshes;
     result.memStats.mitigationRefreshes -= base_mem.mitigationRefreshes;
     result.memStats.mitigationBusyCycles -= base_mem.mitigationBusyCycles;
+    result.memStats.readQueueFullEvents -= base_mem.readQueueFullEvents;
+    result.memStats.droppedWritebacks -= base_mem.droppedWritebacks;
     result.cpuCycles = cpuCycle_ - base_cpu;
     return result;
 }

@@ -9,8 +9,18 @@
  * Each channel is one independent sim::Controller; the active
  * dram::AddressFunctions decode a channel index from every physical
  * address (see sim::AddressMapper) and the System routes the request
- * to that channel's controller. All controllers advance in lockstep,
- * one device cycle per step().
+ * to that channel's controller.
+ *
+ * Two execution engines produce bit-identical results: the reference
+ * lockstep engine (step(): every controller ticks one device cycle,
+ * then the CPU side runs) and the epoch engine (advanceEpoch():
+ * channels advance in parallel on util::EpochGang workers up to the
+ * next cycle at which any controller can call back into the CPU,
+ * syncing with the CPU side only at request-enqueue points). See
+ * docs/ARCHITECTURE.md, "Threading model", for the determinism
+ * argument. SystemConfig::threads selects the worker count and
+ * SystemConfig::lockstep forces the reference engine; neither affects
+ * results, so neither is part of the serialized config.
  */
 
 #ifndef ROWHAMMER_CORE_SYSTEM_HH
@@ -24,6 +34,7 @@
 #include "cpu/core.hh"
 #include "mitigation/mitigation.hh"
 #include "sim/controller.hh"
+#include "util/taskpool.hh"
 #include "workload/synthetic.hh"
 
 namespace rowhammer::core
@@ -47,6 +58,21 @@ struct SystemConfig
     dram::TimingSpec timing = dram::ddr4_2400();
     /** Physical-address translation (default: the linear layout). */
     dram::AddressFunctions addressFunctions;
+    /** Per-channel memory-controller parameters (queue sizes and
+     *  watermarks affect results and are serialized; the eventDriven
+     *  engine toggle is execution-only and is not). */
+    sim::Controller::Config controller;
+
+    /**
+     * Intra-system parallelism: total threads the System may use while
+     * stepping (1 = serial; N > 1 runs min(N - 1, channels) channel
+     * workers alongside the calling thread). Results are bit-identical
+     * for every value, so this is excluded from serialize()/hash().
+     */
+    int threads = 1;
+    /** Force the reference lockstep engine (tests pin the epoch engine
+     *  against it). Execution-only; not serialized. */
+    bool lockstep = false;
 
     /** Append the bit-stable encoding of every field (run-description
      *  schema; see util/serialize.hh for the stability contract). */
@@ -124,12 +150,25 @@ class System
                      std::int64_t warmup_instructions = 0);
 
     /**
-     * Advance one device clock cycle plus the corresponding CPU cycles
-     * (the 4 GHz : device-clock ratio is accumulated fractionally).
-     * run() is a loop over step(); exposed for microbenchmarks and
-     * custom drivers.
+     * Reference lockstep engine: advance every controller one device
+     * clock cycle plus the corresponding CPU cycles (the 4 GHz :
+     * device-clock ratio is accumulated fractionally). Exposed for
+     * microbenchmarks and custom drivers.
      */
     void step();
+
+    /**
+     * Epoch engine: advance the whole system by one epoch — up to the
+     * earliest cycle at which any controller can fire a read
+     * completion (or the epoch cap) — with channels running in
+     * parallel when config.threads > 1. Falls back to a single step()
+     * whenever a completion is due, which is therefore the only place
+     * completion callbacks fire, in canonical channel order; results
+     * are bit-identical to the lockstep engine at any thread count.
+     * `stop` is polled once per device step (like run()'s retirement
+     * check in lockstep mode) and ends the epoch early.
+     */
+    void advanceEpoch(const std::function<bool()> &stop = {});
 
   private:
     struct PendingHit
@@ -146,13 +185,35 @@ class System
     bool sendFromCore(int core_id, std::uint64_t addr, bool write,
                       std::function<void()> done);
     void cpuTick();
+    /** One device step's worth of CPU cycles (budget accumulation). */
+    void cpuDeviceStep();
+    /** Furthest device cycle any channel has reached. */
+    dram::Cycle deviceNow() const;
     /** Per-channel stats folded into one aggregate (see
      *  ControllerStats::addChannel). */
     sim::ControllerStats aggregateMemStats() const;
 
+    /**
+     * Run `fn` with channel `ch`'s shard lock held (epoch engine) or
+     * directly (serial/lockstep). All mid-step controller access from
+     * the CPU side goes through here.
+     */
+    template <typename Fn>
+    void withChannel(int ch, Fn &&fn)
+    {
+        if (gang_)
+            gang_->withShard(ch, std::forward<Fn>(fn));
+        else
+            fn();
+    }
+
     SystemConfig config_;
-    /** One memory controller per channel, advancing in lockstep. */
+    /** One memory controller per channel. */
     std::vector<std::unique_ptr<sim::Controller>> controllers_;
+    /** Channel workers for the epoch engine (nullptr when
+     *  config.threads <= 1 or config.lockstep). Declared after
+     *  controllers_ so workers join before controllers die. */
+    std::unique_ptr<util::EpochGang> gang_;
     /** Routing copy of the active address mapping (each controller
      *  compiles its own identical instance for decode-at-enqueue). */
     sim::AddressMapper mapper_;
@@ -166,6 +227,20 @@ class System
     double cpuRatio_ = 1.0;
     /** Fractional CPU cycles owed to the next step(). */
     double cpuBudget_ = 0.0;
+
+    /**
+     * Cycle a channel must be advanced to before the CPU side may
+     * inspect or enqueue into it — the position the lockstep engine
+     * would have it at when the current CPU device-step's requests
+     * land. Maintained by both engines; sendFromCore syncs on demand.
+     */
+    dram::Cycle chanSyncTarget_ = 0;
+    /** Current epoch's exclusive horizon (caller-thread copy; the
+     *  gang's atomic mirrors it). Shrinks when a read is enqueued. */
+    dram::Cycle epochHorizon_ = 0;
+    /** Upper bound on epoch length, so an idle memory system still
+     *  surfaces run()'s non-convergence guard periodically. */
+    static constexpr dram::Cycle kEpochCapCycles = 65536;
 };
 
 } // namespace rowhammer::core

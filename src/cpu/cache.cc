@@ -51,6 +51,8 @@ Cache::access(std::uint64_t addr, bool write)
     }
 
     ++stats_.misses;
+    if (write)
+        ++stats_.writeMisses;
     if (victim->valid && victim->dirty) {
         ++stats_.writebacks;
         result.writeback = (victim->tag * sets_ + set) *
@@ -61,6 +63,22 @@ Cache::access(std::uint64_t addr, bool write)
     victim->tag = tag;
     victim->lastUse = useClock_;
     return result;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t line_addr =
+        addr / static_cast<std::uint64_t>(lineBytes_);
+    const std::size_t set =
+        static_cast<std::size_t>(line_addr) & (sets_ - 1);
+    const std::uint64_t tag = line_addr / sets_;
+    const Line *base = &lines_[set * static_cast<std::size_t>(ways_)];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
 }
 
 } // namespace rowhammer::cpu

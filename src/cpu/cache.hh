@@ -29,6 +29,9 @@ struct CacheStats
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t writebacks = 0;
+    /** Misses on write accesses (write-allocate fills that must reach
+     *  memory as demand writes). */
+    std::int64_t writeMisses = 0;
 
     double missRate() const
     {
@@ -55,6 +58,9 @@ class Cache
 
     /** Look up `addr`; on miss, fill it. `write` marks the line dirty. */
     CacheAccessResult access(std::uint64_t addr, bool write);
+
+    /** Pure probe: would `addr` hit? No LRU, dirty, or stats update. */
+    bool contains(std::uint64_t addr) const;
 
     const CacheStats &stats() const { return stats_; }
 

@@ -322,7 +322,7 @@ ChipModel::growCellTable() const
     cellSlots_ = std::move(slots);
 }
 
-const std::vector<ChipModel::WeakCell> &
+const ChipModel::RowCells &
 ChipModel::weakCells(int bank, int row) const
 {
     // Open-addressed probe; key is flatIndex+1 so 0 marks empty slots.
@@ -408,6 +408,24 @@ ChipModel::weakCells(int bank, int row) const
         }
     }
 
+    // Transpose the sampled cells into the SoA cache layout (the
+    // sampling above must keep drawing in cell-major order so streams
+    // stay bit-identical to the AoS implementation).
+    RowCells packed;
+    const std::size_t n = cells.size();
+    packed.bits.reserve(n);
+    packed.lanes.resize(
+        static_cast<std::size_t>(numDataPatterns + 1) * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        packed.bits.push_back((cells[i].storedBit << 1) |
+                              (cells[i].trueCell ? 1 : 0));
+        packed.lanes[i] = cells[i].threshold;
+        for (int dp = 0; dp < numDataPatterns; ++dp) {
+            packed.lanes[static_cast<std::size_t>(dp + 1) * n + i] =
+                cells[i].coupling[static_cast<std::size_t>(dp)];
+        }
+    }
+
     if (cellCount_ + 1 > cellKeys_.size() / 2) {
         growCellTable();
         mask = cellKeys_.size() - 1;
@@ -415,7 +433,7 @@ ChipModel::weakCells(int bank, int row) const
         while (cellKeys_[slot] != 0)
             slot = (slot + 1) & mask;
     }
-    cellStore_.push_back(std::move(cells));
+    cellStore_.push_back(std::move(packed));
     cellKeys_[slot] = key;
     cellSlots_[slot] = static_cast<std::uint32_t>(cellStore_.size() - 1);
     ++cellCount_;
@@ -477,7 +495,7 @@ ChipModel::readRowInto(int bank, int row, util::Rng &rng,
     // A row without weak cells cannot flip regardless of exposure; skip
     // the exposure accounting (and the caller's rng is never touched,
     // so this cannot perturb any downstream draw).
-    const std::vector<WeakCell> &cells = weakCells(bank, row);
+    const RowCells &cells = weakCells(bank, row);
     if (cells.empty())
         return;
 
@@ -492,20 +510,26 @@ ChipModel::readRowInto(int bank, int row, util::Rng &rng,
     const int dp_index = static_cast<int>(pattern_);
 
     // Raw circuit-level flips (reused scratch keeps this allocation-free
-    // after warm-up).
+    // after warm-up). The SoA layout scans four parallel arrays; the
+    // active pattern's coupling factors are one contiguous run.
     std::vector<long> &raw = rawScratch_;
     raw.clear();
-    for (const WeakCell &cell : cells) {
-        const bool stored = storedBitValue(fill, cell.storedBit);
-        if (stored != cell.trueCell)
+    const std::size_t n = cells.size();
+    const float *threshold = cells.thresholds();
+    const float *coupling = cells.coupling(dp_index);
+    for (std::size_t i = 0; i < n; ++i) {
+        const long stored_bit = cells.storedBit(i);
+        const bool stored = storedBitValue(fill, stored_bit);
+        if (stored != cells.trueCell(i))
             continue; // Discharged state: nothing to leak.
-        const double eff = expo * polarity *
-            static_cast<double>(cell.coupling[dp_index]);
-        const double ratio = eff / static_cast<double>(cell.threshold);
+        const double eff =
+            expo * polarity * static_cast<double>(coupling[i]);
+        const double ratio =
+            eff / static_cast<double>(threshold[i]);
         const double p =
             logistic((ratio - 1.0) / spec_.thresholdWidth);
         if (rng.bernoulli(p))
-            raw.push_back(cell.storedBit);
+            raw.push_back(stored_bit);
     }
     if (raw.empty())
         return;

@@ -212,13 +212,44 @@ class ChipModel
     std::size_t weakCellCount(int bank, int row) const;
 
   private:
-    /** One weak cell of the simulated array. */
+    /** One weak cell of the simulated array (sampling scratch; cached
+     *  rows store the same data in RowCells' SoA layout). */
     struct WeakCell
     {
         long storedBit; ///< Bit index in stored space (incl. ECC parity).
         float threshold; ///< Double-sided hammers to flip, worst pattern.
         bool trueCell;   ///< Charged state encodes logical 1.
         std::array<float, numDataPatterns> coupling; ///< Per-DP factor.
+    };
+
+    /**
+     * Weak cells of one row, structure-of-arrays: the readRow hot loop
+     * scans parallel lanes instead of striding over 40-byte cell
+     * records, and the per-pattern coupling lanes are pattern-major so
+     * a fixed-pattern read touches one contiguous run per row. Rows
+     * hold only a handful of weak cells, so the lanes share two
+     * backing allocations (an integer one and a float one) rather
+     * than one vector each — fewer pointer loads and touched cache
+     * lines per read; the accessors hide the packing.
+     */
+    struct RowCells
+    {
+        /** Per cell: storedBit << 1 | (trueCell ? 1 : 0). */
+        std::vector<long> bits;
+        /** [threshold: n][coupling DP 0: n]...[coupling DP P-1: n]. */
+        std::vector<float> lanes;
+
+        std::size_t size() const { return bits.size(); }
+        bool empty() const { return bits.empty(); }
+
+        long storedBit(std::size_t i) const { return bits[i] >> 1; }
+        bool trueCell(std::size_t i) const { return (bits[i] & 1) != 0; }
+        const float *thresholds() const { return lanes.data(); }
+        const float *coupling(int dp) const
+        {
+            return lanes.data() +
+                static_cast<std::size_t>(dp + 1) * size();
+        }
     };
 
     /** Physical wordline of a logical row under the chip's remap. */
@@ -228,7 +259,7 @@ class ChipModel
     long rowStoredBits() const;
 
     /** Lazily sample (and cache) the weak cells of one row. */
-    const std::vector<WeakCell> &weakCells(int bank, int row) const;
+    const RowCells &weakCells(int bank, int row) const;
 
     /** Sample one weak cell at the given stored-bit anchor. */
     WeakCell sampleCell(util::Rng &rng, long stored_bit,
@@ -286,7 +317,7 @@ class ChipModel
     mutable std::vector<std::uint64_t> cellKeys_;
     mutable std::vector<std::uint32_t> cellSlots_;
     mutable std::size_t cellCount_ = 0;
-    mutable std::deque<std::vector<WeakCell>> cellStore_;
+    mutable std::deque<RowCells> cellStore_;
 
     /** Per-fill-byte caches of the data word and encoded codeword. */
     mutable std::array<util::BitVec, 256> dataWordCache_;

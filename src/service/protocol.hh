@@ -39,7 +39,8 @@ namespace rowhammer::service
 {
 
 constexpr std::uint32_t kProtocolMagic = 0x00444852; // "RHD\0", LE.
-constexpr std::uint32_t kProtocolVersion = 1;
+// v2: Fig10 reply points carry a droppedWritebacks RunningStat.
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Frame payloads above this are rejected as malformed (a corrupt or
  *  hostile length field must not drive a multi-GB allocation). */

@@ -94,6 +94,7 @@ encodeFig10Points(const std::vector<core::SweepPoint> &points)
         w.u8(p.evaluated ? 1 : 0);
         p.normalizedPerformance.serialize(w);
         p.bandwidthOverheadPercent.serialize(w);
+        p.droppedWritebacks.serialize(w);
     }
     return w.bytes();
 }
@@ -115,6 +116,7 @@ decodeFig10Points(const std::string &bytes,
         p.evaluated = r.u8() != 0;
         p.normalizedPerformance = util::RunningStat::deserialize(r);
         p.bandwidthOverheadPercent = util::RunningStat::deserialize(r);
+        p.droppedWritebacks = util::RunningStat::deserialize(r);
         if (!r.ok())
             return false;
         out.push_back(p);

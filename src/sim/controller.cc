@@ -65,6 +65,25 @@ Controller::readQueueSpace() const
     return config_.readQueueSize - static_cast<int>(readQueue_.size());
 }
 
+int
+Controller::writeQueueSpace() const
+{
+    return config_.writeQueueSize - static_cast<int>(writeQueue_.size());
+}
+
+dram::Cycle
+Controller::cpuInteractionBound() const
+{
+    dram::Cycle bound = std::numeric_limits<dram::Cycle>::max();
+    if (!completions_.empty())
+        bound = std::min(bound, completions_.front().first);
+    // Any read still queued can complete no earlier than a RD issued
+    // this very cycle; writes and victim refreshes never call back.
+    if (!readQueue_.empty())
+        bound = std::min(bound, device_.readDataAt(now_));
+    return bound;
+}
+
 bool
 Controller::enqueue(Request request)
 {

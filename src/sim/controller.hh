@@ -49,6 +49,11 @@ struct ControllerStats
      *  refresh rate. */
     double mitigationBusyCycles = 0.0;
     std::int64_t readQueueFullEvents = 0;
+    /** Best-effort posted writes (LLC writebacks) dropped because the
+     *  write queue was full at enqueue (see notePostedWriteDrop()).
+     *  Demand writes are never dropped: the System back-pressures the
+     *  core instead. */
+    std::int64_t droppedWritebacks = 0;
     /** Geometry's rank count (set by the controller); busy time
      *  accumulates per rank, so overhead normalizes by rank-time. */
     int ranks = 1;
@@ -87,6 +92,7 @@ struct ControllerStats
         mitigationRefreshes += other.mitigationRefreshes;
         mitigationBusyCycles += other.mitigationBusyCycles;
         readQueueFullEvents += other.readQueueFullEvents;
+        droppedWritebacks += other.droppedWritebacks;
         ranks = std::max(ranks, other.ranks);
         channels += other.channels;
     }
@@ -136,6 +142,33 @@ class Controller
 
     /** Number of free read-queue entries. */
     int readQueueSpace() const;
+
+    /** Number of free write-queue entries. */
+    int writeQueueSpace() const;
+
+    /**
+     * Conservative lower bound on the earliest cycle >= now() at which
+     * this controller can call back into the CPU side (fire a read
+     * completion), assuming no further enqueues. Completions are
+     * created either at enqueue time (write-forwarded reads, ready the
+     * next cycle) or when a RD command issues — at the earliest
+     * device().readDataAt(now()) for an already-queued read, and
+     * readDataAt is monotone in the issue cycle — so with an empty
+     * read queue and completion heap nothing can reach the CPU before
+     * the next enqueue. core::System's epoch engine advances every
+     * channel in parallel strictly below the minimum of these bounds
+     * and re-shrinks the horizon after each read enqueue (see
+     * docs/ARCHITECTURE.md, "Threading model").
+     */
+    dram::Cycle cpuInteractionBound() const;
+
+    /**
+     * Count a best-effort posted write that the owner chose to drop on
+     * back-pressure instead of retrying (core::System's LLC writebacks
+     * are fire-and-forget; the dirty data vanishes but the simulation
+     * keeps the event observable via ControllerStats).
+     */
+    void notePostedWriteDrop() { ++stats_.droppedWritebacks; }
 
     /** Accept a request; returns false when the queue is full. */
     bool enqueue(Request request);

@@ -247,6 +247,195 @@ TEST(System, MultiChannelRequiresPerChannelMitigations)
     EXPECT_GT(result.memStats.bandwidthOverheadPercent(), 0.0);
 }
 
+TEST(System, TinyWriteQueueNeverDropsDemandWrites)
+{
+    // Conservation pin for the sendFromCore back-pressure fix: the
+    // seed gated writes on the READ queue's space and ignored the
+    // write-enqueue result, so a full write queue silently dropped
+    // demand writes the core had already counted as retired. Post-fix
+    // every LLC write miss enqueues exactly once (back-pressure stalls
+    // the core instead) and every dirty writeback either enqueues or
+    // is counted dropped, so after draining the queues:
+    //   sum(writesServed) == writeMisses + writebacks - sum(dropped).
+    core::SystemConfig config = tinyConfig(2);
+    config.organization.channels = 2;
+    config.organization.rows = 1024;
+    config.controller.writeQueueSize = 4;
+    config.controller.writeHighWatermark = 3;
+    config.controller.writeLowWatermark = 1;
+
+    std::vector<workload::AppProfile> apps;
+    for (int c = 0; c < 2; ++c) {
+        auto app = tinyApp(c, 150.0, 0.9);
+        app.writeFraction = 0.6;
+        apps.push_back(app);
+    }
+    core::System system(config, apps, 11);
+    // No warmup: the LLC and controller counters below are absolute.
+    const auto result = system.run(20000);
+
+    // Drain the queued writes without CPU steps (cores would generate
+    // new traffic); channels may desynchronize freely here.
+    for (int ch = 0; ch < system.channels(); ++ch) {
+        auto &controller = system.channelController(ch);
+        while (!controller.idle())
+            controller.advanceTo(controller.now() + 1024);
+    }
+
+    std::int64_t served = 0;
+    std::int64_t dropped = 0;
+    for (int ch = 0; ch < system.channels(); ++ch) {
+        served += system.channelController(ch).stats().writesServed;
+        dropped +=
+            system.channelController(ch).stats().droppedWritebacks;
+    }
+    // The run must actually exercise both flavors of memory write.
+    EXPECT_GT(result.llcStats.writeMisses, 0);
+    EXPECT_GT(result.llcStats.writebacks, 0);
+    EXPECT_EQ(served + dropped,
+              result.llcStats.writeMisses + result.llcStats.writebacks);
+    // Drops can't occur during the drain (no new enqueues), so the
+    // aggregated run delta matches the per-channel counters.
+    EXPECT_EQ(dropped, result.memStats.droppedWritebacks);
+}
+
+namespace engines
+{
+
+struct EngineRun
+{
+    std::vector<std::string> streams;
+    std::vector<rowhammer::dram::Cycle> nows;
+    core::SystemResult result;
+};
+
+/** One fixed workload under a chosen engine: the reference lockstep
+ *  walk or parallel epochs with `threads` total threads. */
+EngineRun
+runEngine(int channels, int threads, bool lockstep, bool with_para)
+{
+    core::SystemConfig config = tinyConfig(2);
+    config.organization.channels = channels;
+    config.organization.rows = 1024;
+    config.threads = threads;
+    config.lockstep = lockstep;
+
+    std::vector<workload::AppProfile> apps{tinyApp(0, 120.0, 0.8),
+                                           tinyApp(1, 140.0, 0.7)};
+    apps[0].writeFraction = 0.4;
+    core::System system(config, apps, 9);
+
+    std::vector<std::unique_ptr<mitigation::Mitigation>> owned;
+    if (with_para) {
+        std::vector<mitigation::Mitigation *> per_channel;
+        for (int ch = 0; ch < channels; ++ch) {
+            owned.push_back(mitigation::makeMitigation(
+                mitigation::Kind::PARA, 2048.0, config.timing,
+                config.organization.rows,
+                static_cast<std::uint64_t>(5 + ch)));
+            per_channel.push_back(owned.back().get());
+        }
+        system.setMitigations(per_channel);
+    }
+
+    EngineRun out;
+    out.streams.resize(static_cast<std::size_t>(channels));
+    for (int ch = 0; ch < channels; ++ch) {
+        system.channelController(ch).device().setObserver(
+            [&out, ch](rowhammer::dram::Command cmd,
+                       const rowhammer::dram::Address &addr,
+                       rowhammer::dram::Cycle at) {
+                out.streams[static_cast<std::size_t>(ch)] +=
+                    toString(cmd) + " g" +
+                    std::to_string(addr.bankGroup) + " b" +
+                    std::to_string(addr.bank) + " row" +
+                    std::to_string(addr.row) + " @" +
+                    std::to_string(at) + "\n";
+            });
+    }
+    out.result = system.run(12000, 1000);
+    for (int ch = 0; ch < channels; ++ch)
+        out.nows.push_back(system.channelController(ch).now());
+    return out;
+}
+
+/** Bit-exact comparison: command streams, end cycles, and every
+ *  result statistic (EXPECT_EQ on doubles is deliberate). */
+void
+expectIdentical(const EngineRun &a, const EngineRun &b,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.streams, b.streams);
+    EXPECT_EQ(a.nows, b.nows);
+    ASSERT_EQ(a.result.coreStats.size(), b.result.coreStats.size());
+    for (std::size_t i = 0; i < a.result.coreStats.size(); ++i) {
+        EXPECT_EQ(a.result.coreStats[i].cycles,
+                  b.result.coreStats[i].cycles);
+        EXPECT_EQ(a.result.coreStats[i].retired,
+                  b.result.coreStats[i].retired);
+        EXPECT_EQ(a.result.coreStats[i].memReads,
+                  b.result.coreStats[i].memReads);
+        EXPECT_EQ(a.result.coreStats[i].memWrites,
+                  b.result.coreStats[i].memWrites);
+    }
+    EXPECT_EQ(a.result.llcStats.accesses, b.result.llcStats.accesses);
+    EXPECT_EQ(a.result.llcStats.hits, b.result.llcStats.hits);
+    EXPECT_EQ(a.result.llcStats.misses, b.result.llcStats.misses);
+    EXPECT_EQ(a.result.llcStats.writebacks,
+              b.result.llcStats.writebacks);
+    EXPECT_EQ(a.result.llcStats.writeMisses,
+              b.result.llcStats.writeMisses);
+    EXPECT_EQ(a.result.memStats.cycles, b.result.memStats.cycles);
+    EXPECT_EQ(a.result.memStats.readsServed,
+              b.result.memStats.readsServed);
+    EXPECT_EQ(a.result.memStats.writesServed,
+              b.result.memStats.writesServed);
+    EXPECT_EQ(a.result.memStats.demandActs,
+              b.result.memStats.demandActs);
+    EXPECT_EQ(a.result.memStats.autoRefreshes,
+              b.result.memStats.autoRefreshes);
+    EXPECT_EQ(a.result.memStats.mitigationRefreshes,
+              b.result.memStats.mitigationRefreshes);
+    EXPECT_EQ(a.result.memStats.mitigationBusyCycles,
+              b.result.memStats.mitigationBusyCycles);
+    EXPECT_EQ(a.result.memStats.droppedWritebacks,
+              b.result.memStats.droppedWritebacks);
+    EXPECT_EQ(a.result.cpuCycles, b.result.cpuCycles);
+}
+
+} // namespace engines
+
+TEST(System, ParallelEpochsMatchLockstepTwoChannels)
+{
+    for (const bool with_para : {false, true}) {
+        const auto reference =
+            engines::runEngine(2, 1, /*lockstep=*/true, with_para);
+        ASSERT_FALSE(reference.streams[0].empty());
+        ASSERT_FALSE(reference.streams[1].empty());
+        for (const int threads : {1, 2, 4}) {
+            const auto epochs = engines::runEngine(
+                2, threads, /*lockstep=*/false, with_para);
+            engines::expectIdentical(
+                reference, epochs,
+                "threads=" + std::to_string(threads) +
+                    " para=" + std::to_string(with_para));
+        }
+    }
+}
+
+TEST(System, ParallelEpochsMatchLockstepFourChannels)
+{
+    const auto reference =
+        engines::runEngine(4, 1, /*lockstep=*/true, /*with_para=*/true);
+    for (const int threads : {1, 5}) {
+        const auto epochs = engines::runEngine(
+            4, threads, /*lockstep=*/false, /*with_para=*/true);
+        engines::expectIdentical(reference, epochs,
+                                 "threads=" + std::to_string(threads));
+    }
+}
+
 TEST(Experiment, BaselineNormalizedToOne)
 {
     ExperimentConfig config;
