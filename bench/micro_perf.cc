@@ -60,7 +60,8 @@ BM_ControllerTick(benchmark::State &state)
             r.addr = addr;
             addr += 8192 * 16; // New row each time.
             r.type = sim::Request::Type::Read;
-            ctrl.enqueue(std::move(r));
+            // Guarded by readQueueSpace() above; cannot be refused.
+            (void)ctrl.enqueue(std::move(r));
         }
         ctrl.tick();
     }
@@ -80,7 +81,8 @@ BM_ControllerRowHit(benchmark::State &state)
             sim::Request r;
             r.addr = (line++ % 128) * 64; // Stay inside one row.
             r.type = sim::Request::Type::Read;
-            ctrl.enqueue(std::move(r));
+            // Guarded by readQueueSpace() above; cannot be refused.
+            (void)ctrl.enqueue(std::move(r));
         }
         ctrl.tick();
     }

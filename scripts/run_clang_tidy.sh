@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a committed suppression baseline and a content-
+# hash result cache.
+#
+# Runs clang-tidy (profile: .clang-tidy) over every src/*.cc TU using
+# the compilation database of a configured build directory, normalizes
+# the findings to stable "<file> [<check>]" pairs (line numbers churn;
+# file+check pairs don't), and fails iff a pair appears that is not in
+# scripts/clang_tidy_baseline.txt. Fixing old findings never breaks the
+# gate; introducing new ones does.
+#
+#   scripts/run_clang_tidy.sh [--build-dir DIR] [--update-baseline]
+#                             [--require] [--jobs N]
+#
+#   --build-dir DIR      Build tree with compile_commands.json
+#                        (default: build).
+#   --update-baseline    Rewrite the baseline from the current findings
+#                        (commit the diff with a justification).
+#   --require            Fail when clang-tidy is not installed. Default
+#                        is skip-with-warning so local machines without
+#                        LLVM still build; CI passes --require.
+#   --jobs N             Parallel clang-tidy processes (default: nproc).
+#
+# Cache: results are memoized under $TIDY_CACHE_DIR (default
+# .tidy-cache/) keyed by sha256(clang-tidy version, .clang-tidy, the
+# TU's bytes, every project header's bytes, its compile command). Any
+# header or flag change invalidates everything — coarse, but safe — and
+# an unchanged tree re-checks in milliseconds, which is what keeps the
+# CI static-analysis job inside the smoke budgets.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+UPDATE=0
+REQUIRE=0
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BASELINE=scripts/clang_tidy_baseline.txt
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) BUILD_DIR="$2"; shift 2 ;;
+        --update-baseline) UPDATE=1; shift ;;
+        --require) REQUIRE=1; shift ;;
+        --jobs) JOBS="$2"; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+        TIDY="$candidate"
+        break
+    fi
+done
+
+if [ -z "$TIDY" ]; then
+    if [ "$REQUIRE" = 1 ]; then
+        echo "error: clang-tidy not found and --require given" >&2
+        exit 1
+    fi
+    echo "warn: clang-tidy not installed; skipping (CI runs it with" \
+         "--require)" >&2
+    exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "error: $BUILD_DIR/compile_commands.json missing — configure" \
+         "the build first (cmake -B $BUILD_DIR -S .)" >&2
+    exit 1
+fi
+
+CACHE_DIR="${TIDY_CACHE_DIR:-.tidy-cache}"
+mkdir -p "$CACHE_DIR"
+
+# Everything that can change a TU's findings, hashed once per run.
+GLOBAL_KEY=$("$TIDY" --version 2>/dev/null | sha256sum | cut -c1-16)
+CONFIG_KEY=$(sha256sum .clang-tidy | cut -c1-16)
+HEADER_KEY=$(find src -name '*.hh' -print0 | sort -z | xargs -0 cat |
+             sha256sum | cut -c1-16)
+export TIDY BUILD_DIR CACHE_DIR GLOBAL_KEY CONFIG_KEY HEADER_KEY
+
+check_one() {
+    tu="$1"
+    cmd_key=$(grep -F "\"$PWD/$tu\"" "$BUILD_DIR/compile_commands.json" \
+              2>/dev/null | sha256sum | cut -c1-16)
+    file_key=$(sha256sum "$tu" | cut -c1-16)
+    key="$GLOBAL_KEY-$CONFIG_KEY-$HEADER_KEY-$file_key-$cmd_key"
+    cached="$CACHE_DIR/$key"
+    if [ -f "$cached" ]; then
+        cat "$cached"
+        return 0
+    fi
+    out=$("$TIDY" -p "$BUILD_DIR" --quiet "$tu" 2> /dev/null || true)
+    # Normalize: "path:line:col: warning: msg [check]" -> "path [check]".
+    normalized=$(printf '%s\n' "$out" |
+        sed -n 's|^\([^:]*\):[0-9]*:[0-9]*: warning: .* \(\[[a-z0-9,.-]*\]\)$|\1 \2|p' |
+        sed "s|^$PWD/||" | sort -u)
+    printf '%s\n' "$normalized" | grep -v '^$' > "$cached" || true
+    cat "$cached"
+}
+export -f check_one
+
+FINDINGS=$(find src -name '*.cc' -print0 | sort -z |
+           xargs -0 -n1 -P "$JOBS" bash -c 'check_one "$1"' _ |
+           sort -u)
+
+if [ "$UPDATE" = 1 ]; then
+    {
+        echo "# clang-tidy suppression baseline: known findings as"
+        echo "# '<file> [<check>]' pairs. Regenerate with"
+        echo "#   scripts/run_clang_tidy.sh --update-baseline"
+        echo "# and justify any additions in the PR description."
+        printf '%s\n' "$FINDINGS" | grep -v '^$' || true
+    } > "$BASELINE"
+    echo "baseline updated: $(grep -vc '^#' "$BASELINE") entries"
+    exit 0
+fi
+
+touch "$BASELINE"
+NEW=$(printf '%s\n' "$FINDINGS" | grep -v '^$' |
+      grep -Fxv -f <(grep -v '^#' "$BASELINE") || true)
+
+if [ -n "$NEW" ]; then
+    echo "error: new clang-tidy findings (not in $BASELINE):" >&2
+    printf '%s\n' "$NEW" >&2
+    echo "Fix them, or justify + add to the baseline with" \
+         "scripts/run_clang_tidy.sh --update-baseline" >&2
+    exit 1
+fi
+
+echo "clang-tidy: clean ($(printf '%s\n' "$FINDINGS" | grep -vc '^$' ||
+                          true) baselined findings)"

@@ -20,6 +20,14 @@ HcFirstOptions::serialize(util::ByteWriter &w) const
     w.i64(flipsPerWord);
 }
 
+std::uint64_t
+HcFirstOptions::hash() const
+{
+    util::ByteWriter w;
+    serialize(w);
+    return util::fnv1a64(w.bytes());
+}
+
 HcFirstOptions
 HcFirstOptions::deserialize(util::ByteReader &r)
 {

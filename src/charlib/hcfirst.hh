@@ -43,6 +43,10 @@ struct HcFirstOptions
      *  schema; see util/serialize.hh). */
     void serialize(util::ByteWriter &w) const;
 
+    /** FNV-1a content hash of serialize()'s bytes (every field here is
+     *  result-affecting; there are no execution-only knobs). */
+    std::uint64_t hash() const;
+
     /** Rebuild from serialize()'s bytes; check r.ok() afterwards. */
     static HcFirstOptions deserialize(util::ByteReader &r);
 };

@@ -56,11 +56,15 @@ class Cache
      */
     Cache(std::int64_t size_bytes, int ways, int line_bytes);
 
-    /** Look up `addr`; on miss, fill it. `write` marks the line dirty. */
-    CacheAccessResult access(std::uint64_t addr, bool write);
+    /**
+     * Look up `addr`; on miss, fill it. `write` marks the line dirty.
+     * Dropping the result loses the evicted dirty victim: the caller
+     * must either send the writeback to memory or account the drop.
+     */
+    [[nodiscard]] CacheAccessResult access(std::uint64_t addr, bool write);
 
     /** Pure probe: would `addr` hit? No LRU, dirty, or stats update. */
-    bool contains(std::uint64_t addr) const;
+    [[nodiscard]] bool contains(std::uint64_t addr) const;
 
     const CacheStats &stats() const { return stats_; }
 

@@ -13,7 +13,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mitigation/mitigation.hh"
@@ -60,7 +60,9 @@ class IdealRefresh : public Mitigation
     double hcFirst_;
     int rowsPerBank_;
     int rotation_ = 0; ///< Next row index the refresh rotation covers.
-    std::unordered_map<Key, std::uint32_t> counts_;
+    /** Ordered so the onRefresh() rotation sweep is deterministic
+     *  (invariant-linter rule: no unordered containers here). */
+    std::map<Key, std::uint32_t> counts_;
 };
 
 } // namespace rowhammer::mitigation

@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mitigation/mitigation.hh"
@@ -77,7 +77,9 @@ class MrLoc : public Mitigation
     std::uint64_t insertSeq_ = 0;
     std::deque<Key> queue_;
     /** Last insertion sequence number per queued victim. */
-    std::unordered_map<Key, std::uint64_t> lastInsert_;
+    /** Ordered: iteration must never feed hash-order into the
+     *  probabilistic refresh stream (invariant-linter rule). */
+    std::map<Key, std::uint64_t> lastInsert_;
 };
 
 } // namespace rowhammer::mitigation

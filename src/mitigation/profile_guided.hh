@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mitigation/mitigation.hh"
@@ -71,9 +71,12 @@ class ProfileGuidedRefresh : public Mitigation
     int rowsPerBank_;
     int rotation_ = 0;
     /** Per profiled row: its own HCfirst. */
-    std::unordered_map<Key, double> thresholds_;
+    // Both tables are ordered (std::map): onRefresh() walks counts_
+    // erasing per-row, and hash-order must never leak into evictions
+    // or stats (invariant-linter rule).
+    std::map<Key, double> thresholds_;
     /** Activation counters, kept only for profiled rows. */
-    std::unordered_map<Key, std::uint32_t> counts_;
+    std::map<Key, std::uint32_t> counts_;
 };
 
 } // namespace rowhammer::mitigation

@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "dram/timing.hh"
@@ -87,7 +87,10 @@ class TWiCe : public Mitigation
     double pruneRatePerInterval_;
     bool ideal_;
     bool feasible_;
-    std::unordered_map<Key, Entry> table_;
+    /** Ordered (std::map) so the onRefresh() pruning walk — and any
+     *  future order-sensitive emission from it — is deterministic;
+     *  the invariant linter forbids unordered containers here. */
+    std::map<Key, Entry> table_;
     std::size_t peakTableSize_ = 0;
 };
 

@@ -62,22 +62,22 @@ struct CallResult
  * them; RetryLater/ShuttingDown and transport failures back off and
  * retry until the attempt budget runs dry.
  */
-CallResult call(const ClientOptions &options, MsgType type,
-                const std::string &payload);
+[[nodiscard]] CallResult call(const ClientOptions &options, MsgType type,
+                              const std::string &payload);
 
 /**
  * One attempt over an existing transport (no connect, no retry):
  * sends the frame, reads and validates the reply frame. The building
  * block call() loops over; exposed for the fault-injection tests.
  */
-CallResult callOnce(util::Transport &t, MsgType type,
-                    const std::string &payload);
+[[nodiscard]] CallResult callOnce(util::Transport &t, MsgType type,
+                                  const std::string &payload);
 
 /** The exact backoff call() sleeps before retry `attempt` (1-based):
  *  min(base << (attempt-1), max) + jitter in [0, base). Exposed so
  *  tests can assert the schedule. */
-long backoffMs(const ClientOptions &options, int attempt,
-               std::uint64_t &jitter_state);
+[[nodiscard]] long backoffMs(const ClientOptions &options, int attempt,
+                             std::uint64_t &jitter_state);
 
 } // namespace rowhammer::service
 

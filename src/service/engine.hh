@@ -72,7 +72,7 @@ class Engine
      * Evaluate one request payload (deadline prefix + config bytes)
      * and produce the full reply. Never throws.
      */
-    Reply handle(MsgType type, const std::string &payload);
+    [[nodiscard]] Reply handle(MsgType type, const std::string &payload);
 
     /**
      * Begin shutdown: the current batch stops claiming new shards
@@ -83,7 +83,10 @@ class Engine
     void beginShutdown() { pool_.requestCancel(); }
 
     /** True once beginShutdown() was called. */
-    bool shuttingDown() const { return pool_.cancelRequested(); }
+    [[nodiscard]] bool shuttingDown() const
+    {
+        return pool_.cancelRequested();
+    }
 
     /** The memo store (tests assert on size/persistence). */
     util::RunStore &memo() { return *memo_; }
@@ -103,7 +106,8 @@ class Engine
 };
 
 /** The memo key of a request: fnv1a(type tag + config bytes). */
-std::uint64_t memoKey(MsgType type, const std::string &config_bytes);
+[[nodiscard]] std::uint64_t memoKey(MsgType type,
+                                    const std::string &config_bytes);
 
 } // namespace rowhammer::service
 

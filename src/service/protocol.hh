@@ -82,7 +82,8 @@ struct FrameHeader
 };
 
 /** Encode header + payload into wire bytes. */
-std::string encodeFrame(MsgType type, const std::string &payload);
+[[nodiscard]] std::string encodeFrame(MsgType type,
+                                      const std::string &payload);
 
 /**
  * Validate and decode the 20 header bytes. Returns nullopt — with a
@@ -91,11 +92,12 @@ std::string encodeFrame(MsgType type, const std::string &payload);
  * payload CRC is checked separately (checkPayload) once the payload
  * has been read.
  */
-std::optional<FrameHeader> decodeFrameHeader(const std::string &bytes,
-                                             std::string &why);
+[[nodiscard]] std::optional<FrameHeader>
+decodeFrameHeader(const std::string &bytes, std::string &why);
 
 /** True iff the payload matches the header's CRC. */
-bool checkPayload(const FrameHeader &header, const std::string &payload);
+[[nodiscard]] bool checkPayload(const FrameHeader &header,
+                                const std::string &payload);
 
 /**
  * A decoded Reply payload. Wire layout (ByteWriter):
@@ -113,10 +115,10 @@ struct Reply
 };
 
 /** Encode a Reply payload (not the frame; see encodeFrame). */
-std::string encodeReply(const Reply &reply);
+[[nodiscard]] std::string encodeReply(const Reply &reply);
 
 /** Decode a Reply payload; false on truncation/garbage. */
-bool decodeReply(const std::string &payload, Reply &out);
+[[nodiscard]] bool decodeReply(const std::string &payload, Reply &out);
 
 /**
  * Per-request compute deadline prefix. Every request payload starts
@@ -124,14 +126,15 @@ bool decodeReply(const std::string &payload, Reply &out);
  * config bytes; the deadline is execution-only and therefore excluded
  * from the memo key.
  */
-std::string encodeRequestPayload(std::uint32_t deadline_ms,
-                                 const std::string &config_bytes);
+[[nodiscard]] std::string
+encodeRequestPayload(std::uint32_t deadline_ms,
+                     const std::string &config_bytes);
 
 /** Split a request payload into deadline + config bytes; false on
  *  truncation. */
-bool decodeRequestPayload(const std::string &payload,
-                          std::uint32_t &deadline_ms,
-                          std::string &config_bytes);
+[[nodiscard]] bool decodeRequestPayload(const std::string &payload,
+                                        std::uint32_t &deadline_ms,
+                                        std::string &config_bytes);
 
 } // namespace rowhammer::service
 

@@ -36,7 +36,8 @@ struct Fig10Request
     std::vector<double> hcFirsts;
 
     std::string encode() const;
-    static bool decode(const std::string &bytes, Fig10Request &out);
+    [[nodiscard]] static bool decode(const std::string &bytes,
+                                     Fig10Request &out);
 };
 
 /** Attack-sweep request: the SweepConfig run description verbatim. */
@@ -45,7 +46,8 @@ struct AttackSweepRequest
     attack::SweepConfig config;
 
     std::string encode() const;
-    static bool decode(const std::string &bytes, AttackSweepRequest &out);
+    [[nodiscard]] static bool decode(const std::string &bytes,
+                                     AttackSweepRequest &out);
 };
 
 /** HCfirst measurement over an explicit chip population. */
@@ -57,23 +59,24 @@ struct HcFirstRequest
     std::vector<fault::ChipInstance> chips;
 
     std::string encode() const;
-    static bool decode(const std::string &bytes, HcFirstRequest &out);
+    [[nodiscard]] static bool decode(const std::string &bytes,
+                                     HcFirstRequest &out);
 };
 
 /** Fig10 result: the sweep grid, bit-exact. */
 std::string encodeFig10Points(const std::vector<core::SweepPoint> &points);
-bool decodeFig10Points(const std::string &bytes,
+[[nodiscard]] bool decodeFig10Points(const std::string &bytes,
                        std::vector<core::SweepPoint> &out);
 
 /** Attack-sweep result: the cell table, bit-exact. */
 std::string encodeSweepCells(const std::vector<attack::SweepCell> &cells);
-bool decodeSweepCells(const std::string &bytes,
+[[nodiscard]] bool decodeSweepCells(const std::string &bytes,
                       std::vector<attack::SweepCell> &out);
 
 /** HCfirst result: one optional threshold per requested chip. */
 std::string encodeHcFirstResults(
     const std::vector<std::optional<std::int64_t>> &results);
-bool decodeHcFirstResults(
+[[nodiscard]] bool decodeHcFirstResults(
     const std::string &bytes,
     std::vector<std::optional<std::int64_t>> &out);
 

@@ -141,10 +141,10 @@ class Controller
     const AddressMapper &mapper() const { return mapper_; }
 
     /** Number of free read-queue entries. */
-    int readQueueSpace() const;
+    [[nodiscard]] int readQueueSpace() const;
 
     /** Number of free write-queue entries. */
-    int writeQueueSpace() const;
+    [[nodiscard]] int writeQueueSpace() const;
 
     /**
      * Conservative lower bound on the earliest cycle >= now() at which
@@ -170,11 +170,16 @@ class Controller
      */
     void notePostedWriteDrop() { ++stats_.droppedWritebacks; }
 
-    /** Accept a request; returns false when the queue is full. */
-    bool enqueue(Request request);
+    /**
+     * Accept a request; returns false when the queue is full. The
+     * result must not be ignored: a dropped false silently loses a
+     * demand access (exactly PR 8's System::sendFromCore bug) — retry
+     * under back-pressure or account the drop via notePostedWriteDrop().
+     */
+    [[nodiscard]] bool enqueue(Request request);
 
     /** True iff no demand request is queued or in flight. */
-    bool idle() const;
+    [[nodiscard]] bool idle() const;
 
     /** Advance one device clock cycle (shim over advanceTo). */
     void tick() { advanceTo(now_ + 1); }

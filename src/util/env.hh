@@ -20,17 +20,19 @@ namespace rowhammer::util
  * surrounding whitespace, nothing else. fatal() (naming `what`) on an
  * empty string, trailing garbage, or out-of-range values.
  */
-long parseLong(const std::string &text, const std::string &what);
+[[nodiscard]] long parseLong(const std::string &text,
+                             const std::string &what);
 
 /**
  * Integer knob from the environment. Unset (or set to the empty
  * string, the conventional "unset" spelling) returns the fallback;
  * anything else must strict-parse or the process fatal()s.
  */
-long envLong(const char *name, long fallback);
+[[nodiscard]] long envLong(const char *name, long fallback);
 
 /** String knob from the environment with a default. */
-std::string envString(const char *name, const std::string &fallback);
+[[nodiscard]] std::string envString(const char *name,
+                                    const std::string &fallback);
 
 } // namespace rowhammer::util
 

@@ -34,39 +34,41 @@ class Io
     virtual ~Io() = default;
 
     /** Open (create/truncate) a file for writing; -1 on failure. */
-    virtual int openForWrite(const std::string &path) = 0;
+    [[nodiscard]] virtual int openForWrite(const std::string &path) = 0;
 
     /** write(2): bytes written (possibly short), or -1 on failure. */
-    virtual long write(int fd, const void *buf, std::size_t count) = 0;
+    [[nodiscard]] virtual long write(int fd, const void *buf,
+                                     std::size_t count) = 0;
 
     /** fsync(2); false on failure. */
-    virtual bool fsyncFd(int fd) = 0;
+    [[nodiscard]] virtual bool fsyncFd(int fd) = 0;
 
     /** close(2); false on failure. */
-    virtual bool closeFd(int fd) = 0;
+    [[nodiscard]] virtual bool closeFd(int fd) = 0;
 
     /** rename(2); false on failure. */
-    virtual bool renameFile(const std::string &from,
-                            const std::string &to) = 0;
+    [[nodiscard]] virtual bool renameFile(const std::string &from,
+                                          const std::string &to) = 0;
 
     /** Read a whole file; false if missing or unreadable. */
-    virtual bool readFile(const std::string &path, std::string &out) = 0;
+    [[nodiscard]] virtual bool readFile(const std::string &path,
+                                        std::string &out) = 0;
 
     /** mkdir -p; false if a component cannot be created. */
-    virtual bool makeDirs(const std::string &path) = 0;
+    [[nodiscard]] virtual bool makeDirs(const std::string &path) = 0;
 
     /** unlink(2); false on failure (missing file is failure too). */
-    virtual bool removeFile(const std::string &path) = 0;
+    [[nodiscard]] virtual bool removeFile(const std::string &path) = 0;
 
     /** stat(2): true iff the path names an existing regular file. */
-    virtual bool fileExists(const std::string &path) = 0;
+    [[nodiscard]] virtual bool fileExists(const std::string &path) = 0;
 
     /**
      * Open (create, do NOT truncate) a lock file for advisory locking;
      * -1 on failure. Kept separate from openForWrite so a failed lock
      * attempt can still read the holder's identity out of the file.
      */
-    virtual int openLockFile(const std::string &path) = 0;
+    [[nodiscard]] virtual int openLockFile(const std::string &path) = 0;
 
     /**
      * flock(2) LOCK_EX | LOCK_NB on an openLockFile() fd. False when
@@ -74,15 +76,16 @@ class Io
      * The lock dies with the fd — a SIGKILLed holder frees it
      * automatically, which is the whole point of flock over lockfiles.
      */
-    virtual bool tryLockExclusive(int fd) = 0;
+    [[nodiscard]] virtual bool tryLockExclusive(int fd) = 0;
 
     /** ftruncate(2) to zero, so the holder description can be
      *  rewritten in place without dropping the lock. */
-    virtual bool truncateFd(int fd) = 0;
+    [[nodiscard]] virtual bool truncateFd(int fd) = 0;
 
     /** write(2) that loops internally; false on any failure. Used for
      *  the lock-holder description (not the atomic-write path). */
-    virtual bool writeAllFd(int fd, const std::string &data) = 0;
+    [[nodiscard]] virtual bool writeAllFd(int fd,
+                                          const std::string &data) = 0;
 
     /** The process-wide POSIX implementation. */
     static Io &system();
@@ -93,8 +96,8 @@ class Io
  * (see file comment). Returns false — after removing the temp file —
  * if any primitive fails; `path` is untouched in that case.
  */
-bool atomicWriteFile(Io &io, const std::string &path,
-                     const std::string &data);
+[[nodiscard]] bool atomicWriteFile(Io &io, const std::string &path,
+                                   const std::string &data);
 
 /**
  * Test double wrapping another Io with an injectable fault plan.
@@ -121,20 +124,23 @@ class FaultInjectingIo : public Io
     long bytesWritten() const { return bytesWritten_; }
     int writeCalls() const { return writeCalls_; }
 
-    int openForWrite(const std::string &path) override;
-    long write(int fd, const void *buf, std::size_t count) override;
-    bool fsyncFd(int fd) override;
-    bool closeFd(int fd) override;
-    bool renameFile(const std::string &from,
-                    const std::string &to) override;
-    bool readFile(const std::string &path, std::string &out) override;
-    bool makeDirs(const std::string &path) override;
-    bool removeFile(const std::string &path) override;
-    bool fileExists(const std::string &path) override;
-    int openLockFile(const std::string &path) override;
-    bool tryLockExclusive(int fd) override;
-    bool truncateFd(int fd) override;
-    bool writeAllFd(int fd, const std::string &data) override;
+    [[nodiscard]] int openForWrite(const std::string &path) override;
+    [[nodiscard]] long write(int fd, const void *buf,
+                             std::size_t count) override;
+    [[nodiscard]] bool fsyncFd(int fd) override;
+    [[nodiscard]] bool closeFd(int fd) override;
+    [[nodiscard]] bool renameFile(const std::string &from,
+                                  const std::string &to) override;
+    [[nodiscard]] bool readFile(const std::string &path,
+                                std::string &out) override;
+    [[nodiscard]] bool makeDirs(const std::string &path) override;
+    [[nodiscard]] bool removeFile(const std::string &path) override;
+    [[nodiscard]] bool fileExists(const std::string &path) override;
+    [[nodiscard]] int openLockFile(const std::string &path) override;
+    [[nodiscard]] bool tryLockExclusive(int fd) override;
+    [[nodiscard]] bool truncateFd(int fd) override;
+    [[nodiscard]] bool writeAllFd(int fd,
+                                  const std::string &data) override;
 
   private:
     Io &base_;

@@ -37,7 +37,7 @@ namespace rowhammer::util
 {
 
 /** CRC-32 (IEEE, as in zip/zlib) over a byte string. */
-std::uint32_t crc32(const std::string &bytes);
+[[nodiscard]] std::uint32_t crc32(const std::string &bytes);
 
 /**
  * The record store. Thread-safe: sweep workers put() concurrently as
@@ -89,16 +89,19 @@ class RunStore
      * holder if another live process owns it).
      * Returns the number of records recovered.
      */
-    std::size_t load();
+    [[nodiscard]] std::size_t load();
 
     /** True iff load() found a damaged header and renamed the file
      *  aside to `<path>.corrupt`. */
-    bool quarantinedOnLoad() const;
+    [[nodiscard]] bool quarantinedOnLoad() const;
 
     /** The stored value for a key, or nullptr. */
-    const std::string *get(std::uint64_t key) const;
+    [[nodiscard]] const std::string *get(std::uint64_t key) const;
 
-    bool has(std::uint64_t key) const { return get(key) != nullptr; }
+    [[nodiscard]] bool has(std::uint64_t key) const
+    {
+        return get(key) != nullptr;
+    }
 
     /**
      * Record a completed shard and persist the store atomically. On a
@@ -108,10 +111,10 @@ class RunStore
      */
     void put(std::uint64_t key, std::string value);
 
-    std::size_t size() const;
+    [[nodiscard]] std::size_t size() const;
 
     /** False once a write failure has disabled persistence. */
-    bool persistent() const;
+    [[nodiscard]] bool persistent() const;
 
     const std::string &path() const { return path_; }
 

@@ -99,7 +99,7 @@ class ByteReader
      *  temporary would read freed memory on the first u8(). */
     explicit ByteReader(std::string &&) = delete;
 
-    std::uint8_t u8()
+    [[nodiscard]] std::uint8_t u8()
     {
         if (pos_ >= bytes_.size()) {
             ok_ = false;
@@ -108,7 +108,7 @@ class ByteReader
         return static_cast<std::uint8_t>(bytes_[pos_++]);
     }
 
-    std::uint32_t u32()
+    [[nodiscard]] std::uint32_t u32()
     {
         std::uint32_t v = 0;
         for (int i = 0; i < 4; ++i)
@@ -116,7 +116,7 @@ class ByteReader
         return v;
     }
 
-    std::uint64_t u64()
+    [[nodiscard]] std::uint64_t u64()
     {
         std::uint64_t v = 0;
         for (int i = 0; i < 8; ++i)
@@ -124,9 +124,12 @@ class ByteReader
         return v;
     }
 
-    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    [[nodiscard]] std::int64_t i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
 
-    double f64()
+    [[nodiscard]] double f64()
     {
         const std::uint64_t bits = u64();
         double v = 0.0;
@@ -134,7 +137,7 @@ class ByteReader
         return v;
     }
 
-    std::string str()
+    [[nodiscard]] std::string str()
     {
         const std::uint32_t n = u32();
         if (bytes_.size() - pos_ < n) {
@@ -146,7 +149,7 @@ class ByteReader
         return out;
     }
 
-    std::vector<double> f64Vec()
+    [[nodiscard]] std::vector<double> f64Vec()
     {
         const std::uint32_t n = u32();
         if ((bytes_.size() - pos_) / 8 < n) {
@@ -160,7 +163,7 @@ class ByteReader
         return out;
     }
 
-    std::vector<std::uint64_t> maskVec()
+    [[nodiscard]] std::vector<std::uint64_t> maskVec()
     {
         const std::uint32_t n = u32();
         if ((bytes_.size() - pos_) / 8 < n) {
@@ -174,7 +177,7 @@ class ByteReader
         return out;
     }
 
-    std::vector<int> intVec()
+    [[nodiscard]] std::vector<int> intVec()
     {
         const std::uint32_t n = u32();
         if ((bytes_.size() - pos_) / 8 < n) {
@@ -189,10 +192,10 @@ class ByteReader
     }
 
     /** True iff no read has run past the end so far. */
-    bool ok() const { return ok_; }
+    [[nodiscard]] bool ok() const { return ok_; }
 
     /** True iff every byte was consumed and no read underran. */
-    bool done() const { return ok_ && pos_ == bytes_.size(); }
+    [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
 
   private:
     const std::string &bytes_;
@@ -201,7 +204,7 @@ class ByteReader
 };
 
 /** FNV-1a over a byte string (the content hash keying RunStore files). */
-inline std::uint64_t
+[[nodiscard]] inline std::uint64_t
 fnv1a64(const std::string &bytes)
 {
     std::uint64_t h = 14695981039346656037ULL;

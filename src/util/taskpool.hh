@@ -104,7 +104,7 @@ class TaskPool
     void setBatchDeadline(std::chrono::milliseconds deadline);
 
     /** True once the current batch's watchdog has fired. */
-    bool batchCancelled() const
+    [[nodiscard]] bool batchCancelled() const
     {
         return cancel_.load(std::memory_order_relaxed);
     }
@@ -129,7 +129,7 @@ class TaskPool
     }
 
     /** True while requestCancel() is in effect. */
-    bool cancelRequested() const
+    [[nodiscard]] bool cancelRequested() const
     {
         return externalCancel_.load(std::memory_order_relaxed);
     }
@@ -139,7 +139,7 @@ class TaskPool
      * call concurrently for distinct i.
      */
     template <typename Fn>
-    auto map(std::size_t count, Fn &&fn)
+    [[nodiscard]] auto map(std::size_t count, Fn &&fn)
         -> std::vector<decltype(fn(std::size_t{0}))>
     {
         using Result = decltype(fn(std::size_t{0}));

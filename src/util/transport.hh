@@ -49,11 +49,12 @@ class Transport
     virtual ~Transport() = default;
 
     /** Up to `count` bytes into `buf`; > 0, or a status code above. */
-    virtual long read(void *buf, std::size_t count) = 0;
+    [[nodiscard]] virtual long read(void *buf, std::size_t count) = 0;
 
     /** Up to `count` bytes from `buf`; > 0 (possibly short), kError,
      *  or kRetry. */
-    virtual long write(const void *buf, std::size_t count) = 0;
+    [[nodiscard]] virtual long write(const void *buf,
+                                     std::size_t count) = 0;
 
     /**
      * Shut down both directions so a peer (or our own thread) blocked
@@ -78,8 +79,9 @@ class SocketTransport : public Transport
     SocketTransport(const SocketTransport &) = delete;
     SocketTransport &operator=(const SocketTransport &) = delete;
 
-    long read(void *buf, std::size_t count) override;
-    long write(const void *buf, std::size_t count) override;
+    [[nodiscard]] long read(void *buf, std::size_t count) override;
+    [[nodiscard]] long write(const void *buf,
+                             std::size_t count) override;
     void shutdownBoth() override;
 
   private:
@@ -108,8 +110,9 @@ class MemoryTransport : public Transport
                      std::unique_ptr<MemoryTransport>>
     createPair(long aIdleReadTimeoutMs, long bIdleReadTimeoutMs);
 
-    long read(void *buf, std::size_t count) override;
-    long write(const void *buf, std::size_t count) override;
+    [[nodiscard]] long read(void *buf, std::size_t count) override;
+    [[nodiscard]] long write(const void *buf,
+                             std::size_t count) override;
     void shutdownBoth() override;
 
   private:
@@ -157,8 +160,9 @@ class FaultInjectingTransport : public Transport
     long bytesWritten() const { return bytesWritten_; }
     int retriesInjected() const { return retriesInjected_; }
 
-    long read(void *buf, std::size_t count) override;
-    long write(const void *buf, std::size_t count) override;
+    [[nodiscard]] long read(void *buf, std::size_t count) override;
+    [[nodiscard]] long write(const void *buf,
+                             std::size_t count) override;
     void shutdownBoth() override { base_.shutdownBoth(); }
 
   private:
@@ -175,7 +179,7 @@ class FaultInjectingTransport : public Transport
  * storms. False on kError/kEof or when the transient-retry budget is
  * exhausted (a peer stuck in permanent EAGAIN must not hang us).
  */
-bool writeAll(Transport &t, const std::string &data);
+[[nodiscard]] bool writeAll(Transport &t, const std::string &data);
 
 /**
  * Outcome of readExact(): everything beyond Ok maps to a distinct,
@@ -192,22 +196,23 @@ enum class ReadStatus
 
 /** Read exactly `count` bytes into `out` (appended), looping over
  *  short reads and bounded kRetry storms. */
-ReadStatus readExact(Transport &t, std::string &out, std::size_t count);
+[[nodiscard]] ReadStatus readExact(Transport &t, std::string &out,
+                                   std::size_t count);
 
 // ------------------------------------------------------------------
 // Unix-domain-socket helpers (production path of rhd/rhc).
 
 /** Bind + listen on a Unix socket path (unlinking any stale file);
  *  returns the listening fd, or -1 with a warn() on failure. */
-int listenUnix(const std::string &path, int backlog = 16);
+[[nodiscard]] int listenUnix(const std::string &path, int backlog = 16);
 
 /** Accept one connection; returns the connected fd, -1 on error, or
  *  -2 on EINTR/EAGAIN (caller rechecks its stop flag). */
-int acceptUnix(int listenFd);
+[[nodiscard]] int acceptUnix(int listenFd);
 
 /** Connect to a Unix socket path; nullptr on failure. */
-std::unique_ptr<Transport> connectUnix(const std::string &path,
-                                       long idleReadTimeoutMs = 0);
+[[nodiscard]] std::unique_ptr<Transport>
+connectUnix(const std::string &path, long idleReadTimeoutMs = 0);
 
 } // namespace rowhammer::util
 

@@ -149,8 +149,9 @@ TEST(AttackSweep, ThreadCountInvariant)
     EXPECT_EQ(flips_of("4-sided", "TRR-4"), 0);   // N <= sampler size.
     EXPECT_GT(flips_of("8-sided", "TRR-4"), 0);
     for (const auto &cell : serial) {
-        if (cell.mechanism == "Ideal")
+        if (cell.mechanism == "Ideal") {
             EXPECT_EQ(cell.flips, 0) << cell.pattern;
+        }
     }
 }
 

@@ -297,8 +297,9 @@ TEST(Population, SampleChipsPinsGroupMinimum)
     EXPECT_DOUBLE_EQ(chips[0].hcFirst, 17500.0);
     EXPECT_TRUE(chips[0].rowHammerable);
     for (const auto &chip : chips) {
-        if (chip.rowHammerable)
+        if (chip.rowHammerable) {
             EXPECT_GE(chip.hcFirst, 17500.0);
+        }
     }
 }
 

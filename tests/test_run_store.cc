@@ -281,7 +281,9 @@ TEST(RunStore, BitFlipFuzzNeverReturnsCorruptRecords)
                 static_cast<char>(damaged[byte] ^ (1 << bit));
             writeAll(path, damaged);
             RunStore store(path, hash);
-            store.load();
+            // Recovered-record count varies with the corruption point;
+            // the loop below asserts on content instead.
+            (void)store.load();
             for (std::uint64_t k = 0; k < values.size(); ++k) {
                 if (const std::string *v = store.get(k)) {
                     EXPECT_EQ(*v, values[k])
@@ -394,7 +396,7 @@ TEST(RunStore, SecondExclusiveOpenDiesNamingTheHolder)
     // loudly, naming the holder, instead of interleaving writes.
     RunStore second(path, 4, nullptr, /*exclusive=*/true);
     try {
-        second.load();
+        (void)second.load(); // Must throw; value unreachable.
         FAIL() << "second exclusive open did not throw";
     } catch (const FatalError &err) {
         const std::string what = err.what();
@@ -463,7 +465,7 @@ TEST(RunStore, InjectedLockConflictDies)
     io.failLock = true;
     RunStore store(dir.path() + "/store.rst", 4, &io,
                    /*exclusive=*/true);
-    EXPECT_THROW(store.load(), FatalError);
+    EXPECT_THROW((void)store.load(), FatalError);
 }
 
 TEST(RunStore, ConcurrentPutsAllLand)

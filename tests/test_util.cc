@@ -552,14 +552,15 @@ TEST(ParseLong, AcceptsStrictIntegers)
 TEST(ParseLong, RejectsGarbageLoudly)
 {
     // The predecessor (std::atol) silently parsed all of these as 0.
-    EXPECT_THROW(parseLong("four", "RH_THREADS"), FatalError);
-    EXPECT_THROW(parseLong("", "RH_THREADS"), FatalError);
-    EXPECT_THROW(parseLong("12abc", "RH_THREADS"), FatalError);
-    EXPECT_THROW(parseLong("1.5", "RH_THREADS"), FatalError);
-    EXPECT_THROW(parseLong("999999999999999999999999", "RH_THREADS"),
+    EXPECT_THROW((void)parseLong("four", "RH_THREADS"), FatalError);
+    EXPECT_THROW((void)parseLong("", "RH_THREADS"), FatalError);
+    EXPECT_THROW((void)parseLong("12abc", "RH_THREADS"), FatalError);
+    EXPECT_THROW((void)parseLong("1.5", "RH_THREADS"), FatalError);
+    EXPECT_THROW((void)parseLong("999999999999999999999999",
+                                 "RH_THREADS"),
                  FatalError);
     try {
-        parseLong("four", "RH_THREADS");
+        (void)parseLong("four", "RH_THREADS"); // Must throw.
         FAIL();
     } catch (const FatalError &err) {
         // The message names the knob so the typo is findable.
@@ -579,7 +580,7 @@ TEST(EnvLong, FallbackStrictParseAndFatal)
     setenv("RH_TEST_KNOB", "9", 1);
     EXPECT_EQ(envLong("RH_TEST_KNOB", 5), 9);
     setenv("RH_TEST_KNOB", "nine", 1);
-    EXPECT_THROW(envLong("RH_TEST_KNOB", 5), FatalError);
+    EXPECT_THROW((void)envLong("RH_TEST_KNOB", 5), FatalError);
     unsetenv("RH_TEST_KNOB");
 }
 
