@@ -3,14 +3,18 @@
 # rerun it against the same checkpoint directory, and assert the
 # resumed table is byte-identical to an uninterrupted run. Covers both
 # checkpointed bench families: the Figure 10 mitigation sweep
-# (ExperimentRunner shards) and the Figure 8 HCfirst population run
-# (per-chip PopulationRunner records).
+# (ExperimentRunner shards), the Figure 8 HCfirst population run
+# (per-chip PopulationRunner records), and the fuzzing campaign
+# (per-(pattern, chip) session records feeding an iterative search —
+# resume replays the generations with memoized sessions).
 #
-# Usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist>]
+# Usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist>
+#        [<fuzz_campaign>]]
 set -eu
 
-fig10="${1:?usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist>]}"
+fig10="${1:?usage: kill_resume_test.sh <fig10_mitigations> [<fig8_hcfirst_dist> [<fuzz_campaign>]]}"
 fig8="${2:-}"
+fuzz="${3:-}"
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
@@ -91,4 +95,15 @@ if [ -n "$fig8" ]; then
     RH_F8_CHIPS=300
     export RH_F8_CHIPS
     kill_resume_case "$fig8" fig8
+fi
+
+if [ -n "$fuzz" ]; then
+    # Sized so the campaign spans several generations over a few
+    # seconds: the SIGKILL lands mid-generation and resume has to
+    # reconstruct the search from partially persisted sessions.
+    RH_FZ_GENERATIONS=8
+    RH_FZ_POPULATION=24
+    RH_FZ_CHIPS=4
+    export RH_FZ_GENERATIONS RH_FZ_POPULATION RH_FZ_CHIPS
+    kill_resume_case "$fuzz" fuzz
 fi

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "attack/builder.hh"
+#include "attack/fuzzer.hh"
 #include "attack/pattern.hh"
 #include "attack/session.hh"
 #include "attack/sweep.hh"
@@ -444,6 +445,90 @@ TEST(Session, UnprotectedMatchesBudget)
     EXPECT_EQ(result.activations, p.activationBudget());
     EXPECT_EQ(result.mitigationRefreshes, 0);
     EXPECT_GT(result.refIntervals, 0);
+}
+
+TEST(Session, DegenerateFuzzerDrawsAreRejectedNotUB)
+{
+    // The fuzzer's parameter space brushes against draws the session
+    // must reject with a typed error — never run as UB (this test is
+    // part of the ASan/UBSan job).
+    fault::ChipModel chip(denseSpec(), 4000, 9, smallGeometry());
+    const int victim = chip.weakestRow();
+
+    AccessPattern zero;
+    zero.bank = chip.weakestBank();
+    zero.victimRow = victim;
+    zero.blastRadius = 1;
+    zero.basePeriod = 4;
+    zero.periods = 10;
+    zero.slots.push_back({victim - 1, 1, 0, 0}); // Amplitude zero.
+    zero.slots.push_back({victim + 1, 1, 0, 1});
+    std::string why;
+    EXPECT_FALSE(zero.wellFormed(&why));
+    EXPECT_NE(why.find("amplitude"), std::string::npos);
+    Rng rng(3);
+    EXPECT_THROW(runPattern(chip, zero, nullptr, SessionConfig{}, rng),
+                 util::FatalError);
+
+    // Duplicate aggressor rows: same contract.
+    AccessPattern dup = zero;
+    dup.slots[0].amplitude = 1;
+    dup.slots[1].row = victim - 1;
+    EXPECT_FALSE(dup.wellFormed(&why));
+    EXPECT_NE(why.find("duplicate"), std::string::npos);
+    EXPECT_THROW(runPattern(chip, dup, nullptr, SessionConfig{}, rng),
+                 util::FatalError);
+}
+
+TEST(Session, SingleAggressorFuzzDrawRunsCleanly)
+{
+    // minOrder = maxOrder = 1 degenerates the fuzzer to one-sided
+    // hammering: weak, but well-defined end to end.
+    FuzzerConfig fc;
+    fc.geometry = smallGeometry();
+    fc.minOrder = 1;
+    fc.maxOrder = 1;
+    const FuzzingParameterSet params(fc, 1, 24000);
+    fault::ChipModel chip(denseSpec(), 4000, 9, smallGeometry());
+    const int victim = chip.weakestRow();
+    const AccessPattern p = params.sample(chip.weakestBank(), victim, 5);
+    std::string why;
+    ASSERT_TRUE(p.wellFormed(&why)) << why;
+    EXPECT_EQ(p.rows(), std::vector<int>{victim - 1});
+    Rng rng(7);
+    const SessionResult result =
+        runPattern(chip, p, nullptr, SessionConfig{}, rng);
+    EXPECT_EQ(result.activations, p.activationBudget());
+    EXPECT_GT(result.refIntervals, 0);
+}
+
+TEST(Session, PeriodLongerThanRefWindowIsWellDefined)
+{
+    // One pattern period spanning multiple tREFI windows (amplitude
+    // bursts far above actsPerRefInterval): the session interleaves
+    // REF boundaries mid-period and counts them exactly.
+    fault::ChipModel chip(denseSpec(), 4000, 9, smallGeometry());
+    const int victim = chip.weakestRow();
+    AccessPattern wide;
+    wide.bank = chip.weakestBank();
+    wide.victimRow = victim;
+    wide.blastRadius = 1;
+    wide.basePeriod = 1;
+    wide.periods = 5;
+    wide.slots.push_back({victim - 1, 1, 0, 240});
+    wide.slots.push_back({victim + 1, 1, 0, 240});
+    std::string why;
+    ASSERT_TRUE(wide.wellFormed(&why)) << why;
+    ASSERT_EQ(wide.activationsPerPeriod(), 480);
+
+    SessionConfig session;
+    session.actsPerRefInterval = 240;
+    Rng rng(11);
+    const SessionResult result =
+        runPattern(chip, wide, nullptr, session, rng);
+    EXPECT_EQ(result.activations, wide.activationBudget());
+    EXPECT_EQ(result.refIntervals,
+              wide.activationBudget() / session.actsPerRefInterval);
 }
 
 TEST(TraceAdapter, FollowsScheduleAndRotatesColumns)

@@ -11,13 +11,14 @@
  * scripts/check_invariants.sh [sercov] requires every struct in src/
  * that declares a `hash() const` to be exercised here, so adding a new
  * config struct without extending this test fails CI. Covered structs:
- * ExperimentConfig, SystemConfig, SweepConfig, Organization,
- * TimingSpec, AddressFunctions, ChipSpec, ChipGeometry, ChipInstance,
- * HcFirstOptions.
+ * ExperimentConfig, SystemConfig, SweepConfig, FuzzerConfig,
+ * Organization, TimingSpec, AddressFunctions, ChipSpec, ChipGeometry,
+ * ChipInstance, HcFirstOptions.
  */
 
 #include <gtest/gtest.h>
 
+#include "attack/fuzzer.hh"
 #include "attack/sweep.hh"
 #include "charlib/hcfirst.hh"
 #include "core/experiment.hh"
@@ -331,6 +332,63 @@ TEST(SerializeCoverage, SweepConfigExecutionKnobs)
                         [](auto &c) { c.batchDeadlineMs = 60000; });
 }
 
+TEST(SerializeCoverage, FuzzerConfigResultFields)
+{
+    const attack::FuzzerConfig base;
+    expectSensitive("spec", base,
+                    [](auto &c) { c.spec.onDieEcc = !c.spec.onDieEcc; });
+    expectSensitive("geometry", base,
+                    [](auto &c) { c.geometry.rows = 2048; });
+    expectSensitive("hcFirst", base, [](auto &c) { c.hcFirst = 4000.0; });
+    expectSensitive("seed", base, [](auto &c) { c.seed = 7; });
+    expectSensitive("generations", base,
+                    [](auto &c) { c.generations = 3; });
+    expectSensitive("population", base,
+                    [](auto &c) { c.population = 9; });
+    expectSensitive("survivors", base, [](auto &c) { c.survivors = 3; });
+    expectSensitive("chips", base, [](auto &c) { c.chips = 5; });
+    expectSensitive("minOrder", base, [](auto &c) { c.minOrder = 4; });
+    expectSensitive("maxOrder", base, [](auto &c) { c.maxOrder = 16; });
+    expectSensitive("basePeriod", base,
+                    [](auto &c) { c.basePeriod = 32; });
+    expectSensitive("maxFrequencyLog2", base,
+                    [](auto &c) { c.maxFrequencyLog2 = 2; });
+    expectSensitive("maxAmplitude", base,
+                    [](auto &c) { c.maxAmplitude = 60; });
+    expectSensitive("activationBudget", base,
+                    [](auto &c) { c.activationBudget = 100000; });
+    expectSensitive("actsPerRefInterval", base,
+                    [](auto &c) { c.actsPerRefInterval = 120; });
+    expectSensitive("samplerSize", base,
+                    [](auto &c) { c.samplerSize = 8; });
+    expectSensitive("baselineNSides", base,
+                    [](auto &c) { c.baselineNSides = {4}; });
+    expectSensitive("mapping", base,
+                    [](auto &c) { c.mapping = "bank-xor"; });
+    expectSensitive("attackerMapping", base,
+                    [](auto &c) { c.attackerMapping = "linear"; });
+    expectSensitive("mappingRanks", base,
+                    [](auto &c) { c.mappingRanks = 2; });
+    expectSensitive("mappingChannels", base,
+                    [](auto &c) { c.mappingChannels = 2; });
+}
+
+TEST(SerializeCoverage, FuzzerConfigExecutionKnobs)
+{
+    const attack::FuzzerConfig base;
+    expectExecutionOnly("threads", base, [](auto &c) { c.threads = 5; });
+    expectExecutionOnly("checkpointPath", base, [](auto &c) {
+        c.checkpointPath = "/tmp/elsewhere";
+    });
+    expectExecutionOnly("io", base, [](auto &c) {
+        c.io = &util::Io::system();
+    });
+    util::TaskPool pool(1);
+    expectExecutionOnly("pool", base, [&](auto &c) { c.pool = &pool; });
+    expectExecutionOnly("batchDeadlineMs", base,
+                        [](auto &c) { c.batchDeadlineMs = 60000; });
+}
+
 // ------------------------------------------------- round-trip sanity
 
 /** deserialize(serialize()) must reproduce the hash — otherwise the
@@ -355,6 +413,15 @@ TEST(SerializeCoverage, RoundTripPreservesHash)
     util::ByteReader rs(ws.bytes());
     EXPECT_EQ(attack::SweepConfig::deserialize(rs).hash(), s.hash());
     EXPECT_TRUE(rs.done());
+
+    attack::FuzzerConfig f;
+    f.baselineNSides = {4, 8, 12};
+    f.seed = 99;
+    util::ByteWriter wf;
+    f.serialize(wf);
+    util::ByteReader rf(wf.bytes());
+    EXPECT_EQ(attack::FuzzerConfig::deserialize(rf).hash(), f.hash());
+    EXPECT_TRUE(rf.done());
 }
 
 } // namespace

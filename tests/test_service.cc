@@ -160,6 +160,35 @@ TEST(Protocol, HeaderBitFlipFuzzNeverCrashes)
     }
 }
 
+TEST(Protocol, FuzzCampaignFrameAndCodec)
+{
+    // The new request type is a first-class frame citizen...
+    const std::string frame = encodeFrame(MsgType::FuzzCampaign, "");
+    std::string why;
+    const auto h =
+        decodeFrameHeader(frame.substr(0, kFrameHeaderBytes), why);
+    ASSERT_TRUE(h.has_value()) << why;
+    EXPECT_EQ(h->type, MsgType::FuzzCampaign);
+
+    // ...and its codec roundtrips the run description bit-exactly.
+    FuzzCampaignRequest req;
+    req.config.seed = 77;
+    req.config.generations = 3;
+    req.config.population = 5;
+    req.config.baselineNSides = {4, 8};
+    const std::string bytes = req.encode();
+    FuzzCampaignRequest out;
+    ASSERT_TRUE(FuzzCampaignRequest::decode(bytes, out));
+    EXPECT_EQ(out.config.hash(), req.config.hash());
+
+    // Truncation at any boundary is a recognized failure, never UB.
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        EXPECT_FALSE(
+            FuzzCampaignRequest::decode(bytes.substr(0, n), out));
+    }
+    EXPECT_FALSE(FuzzCampaignRequest::decode(bytes + "x", out));
+}
+
 TEST(Protocol, ReplyRoundTripAndRejects)
 {
     Reply reply;
@@ -334,6 +363,13 @@ TEST(Engine, MalformedAndUnsupportedAreTyped)
     EXPECT_EQ(engine.handle(MsgType::Ping, "").status, Status::Ok);
     EXPECT_EQ(engine.handle(MsgType::Reply, "").status,
               Status::UnsupportedType);
+    // The fuzz-campaign stub: recognized, typed, and refused without
+    // crashing (serving lands in a follow-on).
+    const Reply fuzz = engine.handle(
+        MsgType::FuzzCampaign,
+        encodeRequestPayload(0, FuzzCampaignRequest{}.encode()));
+    EXPECT_EQ(fuzz.status, Status::UnsupportedType);
+    EXPECT_FALSE(fuzz.message.empty());
     EXPECT_EQ(engine.handle(MsgType::Fig10, "xy").status,
               Status::MalformedRequest);
     EXPECT_EQ(engine
